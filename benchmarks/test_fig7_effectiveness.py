@@ -1,0 +1,33 @@
+"""Figure 7: optimization effectiveness versus (n, q)."""
+
+from conftest import emit, run_once
+
+from repro.experiments.config import active_config
+from repro.experiments.fig_effectiveness import format_series, run_effectiveness_figure
+
+
+def test_fig7_effectiveness(benchmark):
+    config = active_config()
+    circuits = config.circuits[:3]
+    n_values = list(range(1, config.n_for("nam") + 1))
+    q_values = [2, 3]
+
+    def run():
+        return run_effectiveness_figure(
+            circuits,
+            n_values=n_values,
+            q_values=q_values,
+            gamma=config.gamma,
+            max_iterations=config.search_max_iterations,
+            timeout_seconds=config.search_timeout_seconds,
+        )
+
+    points = run_once(benchmark, run)
+    emit("Figure 7 (effectiveness vs (n, q))", format_series(points))
+    benchmark.extra_info["points"] = [point.as_dict() for point in points]
+
+    # Shape: effectiveness is non-negative everywhere and, at this scale,
+    # non-decreasing in n for q = 3 (no budget saturation yet).
+    assert all(point.effectiveness >= 0.0 for point in points)
+    q3_series = [p.effectiveness for p in points if p.q == 3]
+    assert q3_series == sorted(q3_series)

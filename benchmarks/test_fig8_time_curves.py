@@ -1,0 +1,38 @@
+"""Figure 8: optimization effectiveness over search time (q = 3)."""
+
+from conftest import emit, run_once
+
+from repro.experiments.config import active_config
+from repro.experiments.fig_time_curves import format_curves, run_time_curves
+
+
+def test_fig8_time_curves(benchmark):
+    config = active_config()
+    circuits = config.circuits[:3]
+    n_values = [2, config.n_for("nam")]
+    budget = min(6.0, config.search_timeout_seconds or 6.0)
+
+    def run():
+        return run_time_curves(
+            circuits,
+            n_values=n_values,
+            q=config.ecc_q,
+            gamma=config.gamma,
+            time_budget_seconds=budget,
+            num_samples=6,
+        )
+
+    curves = run_once(benchmark, run)
+    emit("Figure 8 (effectiveness over time, q=3)", format_curves(curves))
+    benchmark.extra_info["curves"] = [curve.as_dict() for curve in curves]
+
+    # Shape checks: every curve is monotone in time, and the "best" curve
+    # (picking the best n per circuit per time point) dominates each fixed-n
+    # curve, as in the paper.
+    best = [curve for curve in curves if curve.n == -1][0]
+    for curve in curves:
+        assert curve.effectiveness == sorted(curve.effectiveness)
+        if curve.n != -1:
+            assert all(
+                b >= e - 1e-9 for b, e in zip(best.effectiveness, curve.effectiveness)
+            )

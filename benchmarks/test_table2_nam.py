@@ -1,0 +1,41 @@
+"""Table 2: gate-count comparison on the Nam gate set.
+
+Reproduces the shape of the paper's Table 2: Quartz end-to-end matches or
+beats every rule-based baseline, and the backtracking search improves on the
+preprocessor alone.
+"""
+
+from conftest import emit, run_once
+
+from repro.experiments.config import active_config
+from repro.experiments.table_gate_counts import (
+    format_table,
+    geometric_mean_reduction,
+    run_gate_count_table,
+)
+
+
+def test_table2_nam_gate_counts(benchmark):
+    config = active_config()
+
+    def run():
+        return run_gate_count_table(
+            "nam",
+            config.circuits,
+            n=config.n_for("nam"),
+            q=config.ecc_q,
+            gamma=config.gamma,
+            max_iterations=config.search_max_iterations,
+            timeout_seconds=config.search_timeout_seconds,
+        )
+
+    rows = run_once(benchmark, run)
+    emit("Table 2 (Nam gate set)", format_table(rows))
+    benchmark.extra_info["rows"] = [row.as_dict() for row in rows]
+    benchmark.extra_info["geo_mean_reduction_quartz"] = geometric_mean_reduction(rows, "quartz")
+
+    # Shape checks mirroring the paper's claims.
+    for row in rows:
+        assert row.quartz_end_to_end <= row.quartz_preprocess <= row.original
+        assert row.quartz_end_to_end <= min(row.baselines.values())
+    assert geometric_mean_reduction(rows, "quartz") >= geometric_mean_reduction(rows, "qiskit")

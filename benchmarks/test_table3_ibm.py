@@ -1,0 +1,34 @@
+"""Table 3: gate-count comparison on the IBM gate set."""
+
+from conftest import emit, run_once
+
+from repro.experiments.config import active_config
+from repro.experiments.table_gate_counts import (
+    format_table,
+    geometric_mean_reduction,
+    run_gate_count_table,
+)
+
+
+def test_table3_ibm_gate_counts(benchmark):
+    config = active_config()
+
+    def run():
+        return run_gate_count_table(
+            "ibm",
+            config.circuits,
+            n=config.n_for("ibm"),
+            q=config.ecc_q,
+            gamma=config.gamma,
+            max_iterations=config.search_max_iterations,
+            timeout_seconds=config.search_timeout_seconds,
+        )
+
+    rows = run_once(benchmark, run)
+    emit("Table 3 (IBM gate set)", format_table(rows))
+    benchmark.extra_info["rows"] = [row.as_dict() for row in rows]
+    benchmark.extra_info["geo_mean_reduction_quartz"] = geometric_mean_reduction(rows, "quartz")
+
+    for row in rows:
+        assert row.quartz_end_to_end <= row.original
+    assert geometric_mean_reduction(rows, "quartz") >= geometric_mean_reduction(rows, "qiskit")

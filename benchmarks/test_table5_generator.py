@@ -1,0 +1,38 @@
+"""Table 5: generator/verifier metrics per gate set and n (q = 3)."""
+
+from conftest import emit, run_once
+
+from repro.experiments.config import active_config
+from repro.experiments.table_generator_metrics import format_table, run_generator_metrics
+
+
+def test_table5_generator_metrics(benchmark):
+    config = active_config()
+
+    def run():
+        rows = []
+        for gate_set in ("nam", "ibm", "rigetti"):
+            max_n = config.n_for(gate_set)
+            rows.extend(
+                run_generator_metrics(
+                    gate_set, n_values=list(range(1, max_n + 1)), q_values=[config.ecc_q]
+                )
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    emit("Table 5 (generator metrics, q=3)", format_table(rows))
+    benchmark.extra_info["rows"] = [row.as_dict() for row in rows]
+
+    # Shape checks: |T| and |R_n| grow with n for every gate set, and the
+    # characteristics match the paper (27 for Nam, 30 for Rigetti at q=3).
+    by_gate_set = {}
+    for row in rows:
+        by_gate_set.setdefault(row.gate_set, []).append(row)
+    assert by_gate_set["nam"][0].characteristic == 27
+    assert by_gate_set["rigetti"][0].characteristic == 30
+    for series in by_gate_set.values():
+        transformations = [row.num_transformations for row in series]
+        representatives = [row.num_representatives for row in series]
+        assert transformations == sorted(transformations)
+        assert representatives == sorted(representatives)

@@ -1,0 +1,30 @@
+"""Table 6: circuits considered by RepGen and the pruning passes."""
+
+from conftest import emit, run_once
+
+from repro.experiments.config import active_config
+from repro.experiments.table_pruning import format_table, run_pruning_table
+
+
+def test_table6_pruning(benchmark):
+    config = active_config()
+
+    def run():
+        rows = []
+        for gate_set in ("nam", "ibm", "rigetti"):
+            max_n = config.n_for(gate_set)
+            rows.extend(
+                run_pruning_table(gate_set, n_values=list(range(2, max_n + 1)), q=config.ecc_q)
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    emit("Table 6 (pruning effectiveness, q=3)", format_table(rows))
+    benchmark.extra_info["rows"] = [row.as_dict() for row in rows]
+
+    # The paper's claim: RepGen examines far fewer circuits than the brute
+    # force count, and each pruning stage reduces (or preserves) the count.
+    for row in rows:
+        assert row.repgen_circuits < row.possible_circuits
+        assert row.after_simplification <= row.repgen_circuits
+        assert row.after_common_subcircuit <= row.after_simplification

@@ -1,0 +1,32 @@
+"""Table 7: per-circuit gate counts for varying (n, q) ECC sets (Nam)."""
+
+from conftest import emit, run_once
+
+from repro.experiments.config import active_config
+from repro.experiments.table_nq_sweep import format_table, run_nq_sweep
+
+
+def test_table7_nq_sweep(benchmark):
+    config = active_config()
+    circuits = config.circuits[:4]
+    nq_pairs = [(2, 2), (2, 3), (config.n_for("nam"), 3)]
+
+    def run():
+        return run_nq_sweep(
+            circuits,
+            nq_pairs,
+            gamma=config.gamma,
+            max_iterations=config.search_max_iterations,
+            timeout_seconds=config.search_timeout_seconds,
+        )
+
+    rows = run_once(benchmark, run)
+    emit("Table 7 (gate counts across (n, q), Nam)", format_table(rows))
+    benchmark.extra_info["rows"] = [row.as_dict() for row in rows]
+
+    for row in rows:
+        # Every configuration must do at least as well as the preprocessor,
+        # and larger ECC sets never hurt under the same fixed budget scale
+        # used here (small circuits).
+        assert all(count <= row.preprocessed for count in row.results.values())
+        assert row.results[(config.n_for("nam"), 3)] <= row.results[(2, 2)]

@@ -1,0 +1,27 @@
+"""Table 8: generator metrics across the (n, q) grid for the Nam gate set."""
+
+from conftest import emit, run_once
+
+from repro.experiments.config import active_config
+from repro.experiments.table_generator_metrics import format_table, run_generator_metrics
+
+
+def test_table8_nq_generator_metrics(benchmark):
+    config = active_config()
+    n_values = list(range(1, config.n_for("nam") + 1))
+    q_values = [1, 2, 3]
+
+    def run():
+        return run_generator_metrics("nam", n_values=n_values, q_values=q_values)
+
+    rows = run_once(benchmark, run)
+    emit("Table 8 (Nam generator metrics across (n, q))", format_table(rows))
+    benchmark.extra_info["rows"] = [row.as_dict() for row in rows]
+
+    # Characteristics for q = 1, 2, 3 are 7, 16, 27 in the paper.
+    ch_by_q = {row.q: row.characteristic for row in rows}
+    assert ch_by_q[1] == 7 and ch_by_q[2] == 16 and ch_by_q[3] == 27
+    # |T| grows with q for a fixed n (more qubits, more transformations).
+    largest_n = max(n_values)
+    per_q = {row.q: row.num_transformations for row in rows if row.n == largest_n}
+    assert per_q[1] <= per_q[2] <= per_q[3]

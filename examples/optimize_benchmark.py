@@ -1,0 +1,52 @@
+"""Optimize a benchmark circuit end to end and compare against baselines.
+
+This reproduces a single row of Table 2: it takes one of the paper's
+benchmark circuits (default: barenco_tof_3), transpiles it to the Nam gate
+set, runs the rule-based baselines, the Quartz preprocessor and the full
+Quartz flow, and prints the resulting gate counts side by side.
+
+Run with:  python examples/optimize_benchmark.py [circuit_name] [n]
+"""
+
+import sys
+
+from repro import benchmark_circuit
+from repro.baselines import BASELINES, run_baseline
+from repro.experiments.runner import quartz_optimize
+from repro.experiments.table_gate_counts import naive_transpile
+from repro.semantics.simulator import circuits_equivalent_numeric
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "barenco_tof_3"
+    n = int(sys.argv[2]) if len(sys.argv) > 2 else 3
+
+    high_level = benchmark_circuit(name)
+    original = naive_transpile(high_level, "nam")
+    print(f"{name}: {high_level.gate_count} high-level gates, "
+          f"{original.gate_count} gates after naive transpilation to Nam\n")
+
+    print(f"{'optimizer':>22s}  {'gates':>6s}")
+    print(f"{'orig.':>22s}  {original.gate_count:>6d}")
+    for baseline in ("qiskit", "tket", "voqc", "nam"):
+        optimized = run_baseline(baseline, original, "nam")
+        print(f"{baseline + ' (baseline)':>22s}  {optimized.gate_count:>6d}")
+
+    preprocessed, optimized, result = quartz_optimize(
+        high_level, "nam", n=n, q=3, max_iterations=100, timeout_seconds=60
+    )
+    print(f"{'quartz preprocess':>22s}  {preprocessed.gate_count:>6d}")
+    print(f"{'quartz end-to-end':>22s}  {optimized.gate_count:>6d}")
+    print(
+        f"\nsearch: {result.iterations} iterations, "
+        f"{result.circuits_explored} circuits explored, "
+        f"{result.time_seconds:.1f}s"
+    )
+
+    if high_level.num_qubits <= 10:
+        assert circuits_equivalent_numeric(high_level, optimized)
+        print("numeric equivalence check: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim so ``pip install -e .`` works without the ``wheel`` package.
+
+The offline environment has setuptools but not wheel, so the PEP 517
+editable-install path (which builds a wheel) fails; the legacy
+``setup.py develop`` path used by ``pip install -e . --no-use-pep517`` does
+not need it.  All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

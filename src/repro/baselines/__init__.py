@@ -1,0 +1,115 @@
+"""Baseline optimizers standing in for the paper's comparator compilers.
+
+Each baseline is a greedy composition of the rule-based passes of
+:mod:`repro.baselines.rules`, with a rule subset mirroring the public
+description of the corresponding system:
+
+* ``qiskit_like``  — adjacent-inverse cancellation + adjacent rotation
+  merging (+ U1 fusion on the IBM gate set), Qiskit's light optimization
+  level.
+* ``tket_like``    — Qiskit's passes plus commutation-aware cancellation.
+* ``voqc_like``    — t|ket>'s passes plus phase-polynomial rotation merging
+  (voqc's strongest verified pass).
+* ``nam_like``     — all passes, iterated to a fixpoint with a larger
+  commutation window; the strongest rule-based comparator, as in the paper.
+* ``quilc_like``   — the Rigetti-flavoured subset (adjacent cancellation and
+  rotation merging over Rz/CZ circuits).
+
+All baselines are *greedy*: they never accept a cost-increasing rewrite,
+which is exactly the gap the superoptimizer's backtracking search exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.baselines.rules import (
+    PASS_LIBRARY,
+    cancel_with_commutation,
+    fixpoint,
+    merge_adjacent_rotations,
+    merge_u1_into_neighbours,
+)
+from repro.ir.circuit import Circuit
+from repro.preprocess.rotation_merging import merge_rotations
+from repro.preprocess.transpile import cancel_adjacent_inverses
+
+
+def qiskit_like(circuit: Circuit, gate_set_name: str = "nam") -> Circuit:
+    passes = [cancel_adjacent_inverses, merge_adjacent_rotations]
+    if gate_set_name == "ibm":
+        passes.append(merge_u1_into_neighbours)
+    return fixpoint(passes)(circuit)
+
+
+def tket_like(circuit: Circuit, gate_set_name: str = "nam") -> Circuit:
+    passes = [
+        cancel_adjacent_inverses,
+        merge_adjacent_rotations,
+        cancel_with_commutation,
+    ]
+    if gate_set_name == "ibm":
+        passes.append(merge_u1_into_neighbours)
+    return fixpoint(passes)(circuit)
+
+
+def voqc_like(circuit: Circuit, gate_set_name: str = "nam") -> Circuit:
+    passes = [
+        cancel_adjacent_inverses,
+        merge_adjacent_rotations,
+        cancel_with_commutation,
+        merge_rotations,
+    ]
+    if gate_set_name == "ibm":
+        passes.append(merge_u1_into_neighbours)
+    return fixpoint(passes)(circuit)
+
+
+def nam_like(circuit: Circuit, gate_set_name: str = "nam") -> Circuit:
+    wide_commutation = lambda c: cancel_with_commutation(c, window=60)
+    passes = [
+        cancel_adjacent_inverses,
+        merge_adjacent_rotations,
+        wide_commutation,
+        merge_rotations,
+    ]
+    if gate_set_name == "ibm":
+        passes.append(merge_u1_into_neighbours)
+    return fixpoint(passes, max_rounds=40)(circuit)
+
+
+def quilc_like(circuit: Circuit, gate_set_name: str = "rigetti") -> Circuit:
+    passes = [
+        cancel_adjacent_inverses,
+        merge_adjacent_rotations,
+        cancel_with_commutation,
+    ]
+    return fixpoint(passes)(circuit)
+
+
+BASELINES: Dict[str, Callable[[Circuit, str], Circuit]] = {
+    "qiskit": qiskit_like,
+    "tket": tket_like,
+    "voqc": voqc_like,
+    "nam": nam_like,
+    "quilc": quilc_like,
+}
+
+
+def run_baseline(name: str, circuit: Circuit, gate_set_name: str = "nam") -> Circuit:
+    """Run one baseline optimizer by name."""
+    if name not in BASELINES:
+        raise KeyError(f"unknown baseline {name!r}; known: {sorted(BASELINES)}")
+    return BASELINES[name](circuit, gate_set_name)
+
+
+__all__ = [
+    "qiskit_like",
+    "tket_like",
+    "voqc_like",
+    "nam_like",
+    "quilc_like",
+    "BASELINES",
+    "run_baseline",
+    "PASS_LIBRARY",
+]

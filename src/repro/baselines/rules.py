@@ -1,0 +1,215 @@
+"""Reusable rule-based optimization passes for the baseline optimizers.
+
+The comparators in the paper's evaluation (Qiskit, t|ket>, voqc, Nam, Quilc)
+are all greedy rule-based optimizers built from hand-designed passes.  This
+module implements the passes those systems share — adjacent-inverse
+cancellation, adjacent rotation merging, commutation-aware cancellation and
+phase-polynomial rotation merging — and the baseline wrappers compose
+different subsets of them, mirroring each comparator's public description.
+Every pass preserves the circuit's unitary up to a global phase.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.ir.circuit import Circuit, Instruction
+from repro.ir.params import Angle
+from repro.preprocess.rotation_merging import merge_rotations, rotation_angle
+from repro.preprocess.transpile import cancel_adjacent_inverses, _are_inverse
+
+Pass = Callable[[Circuit], Circuit]
+
+
+def merge_adjacent_rotations(circuit: Circuit) -> Circuit:
+    """Merge immediately adjacent z-rotations (rz/u1/t/s/z...) on a wire.
+
+    Unlike the phase-polynomial pass this only looks at literally adjacent
+    gates, which is the behaviour of Qiskit's ``Optimize1qGates``-style
+    passes; merged rotations keep the gate name of the first one when it is
+    already ``rz``/``u1``, otherwise they become ``rz``.
+    """
+    instructions = list(circuit.instructions)
+    removed = [False] * len(instructions)
+    replacement: Dict[int, Instruction] = {}
+    last_rotation_on_qubit: Dict[int, int] = {}
+
+    for index, inst in enumerate(instructions):
+        angle = rotation_angle(inst)
+        if angle is not None and inst.gate.num_qubits == 1:
+            qubit = inst.qubits[0]
+            previous = last_rotation_on_qubit.get(qubit)
+            if previous is not None:
+                prev_inst = replacement.get(previous, instructions[previous])
+                prev_angle = rotation_angle(prev_inst)
+                merged = prev_angle + angle
+                name = prev_inst.gate.name if prev_inst.gate.name in ("rz", "u1") else "rz"
+                replacement[previous] = Instruction(name, (qubit,), [merged])
+                removed[index] = True
+            else:
+                last_rotation_on_qubit[qubit] = index
+        else:
+            for qubit in inst.qubits:
+                last_rotation_on_qubit.pop(qubit, None)
+
+    result = Circuit(circuit.num_qubits, num_params=circuit.num_params)
+    for index, inst in enumerate(instructions):
+        if removed[index]:
+            continue
+        final = replacement.get(index, inst)
+        angle = rotation_angle(final)
+        if (
+            angle is not None
+            and final.gate.num_qubits == 1
+            and angle.is_constant()
+            and angle.normalized_2pi().pi_multiple == 0
+        ):
+            continue
+        result.append(final.gate, final.qubits, final.params)
+    return result
+
+
+def _commutes_past(moving: Instruction, fixed: Instruction) -> bool:
+    """Conservative syntactic commutation check used when scanning for an
+    inverse partner further down the wire."""
+    shared = set(moving.qubits) & set(fixed.qubits)
+    if not shared:
+        return True
+    moving_name = moving.gate.name
+    fixed_name = fixed.gate.name
+    # Diagonal gates commute with each other.
+    if moving.gate.is_diagonal and fixed.gate.is_diagonal:
+        return True
+    # A z-rotation commutes with a CNOT when it sits on the control.
+    if moving.gate.is_diagonal and fixed_name == "cx":
+        return all(q == fixed.qubits[0] for q in shared)
+    if fixed.gate.is_diagonal and moving_name == "cx":
+        return all(q == moving.qubits[0] for q in shared)
+    # An X commutes with a CNOT when it sits on the target.
+    if moving_name == "x" and fixed_name == "cx":
+        return all(q == fixed.qubits[1] for q in shared)
+    if fixed_name == "x" and moving_name == "cx":
+        return all(q == moving.qubits[1] for q in shared)
+    # Two CNOTs sharing only their controls (or only their targets) commute.
+    if moving_name == "cx" and fixed_name == "cx":
+        if shared == {moving.qubits[0]} and moving.qubits[0] == fixed.qubits[0]:
+            return True
+        if shared == {moving.qubits[1]} and moving.qubits[1] == fixed.qubits[1]:
+            return True
+    return False
+
+
+def cancel_with_commutation(circuit: Circuit, window: int = 20) -> Circuit:
+    """Cancel inverse pairs that become adjacent after commuting past gates.
+
+    For each gate, scan forward up to ``window`` instructions; gates that
+    commute with it (syntactically) are skipped, and if an inverse partner is
+    reached before a blocking gate, both are removed.  This captures the
+    "cancel one- and two-qubit gates through commutation" passes of t|ket>
+    and Nam.
+    """
+    instructions = list(circuit.instructions)
+    removed = [False] * len(instructions)
+
+    for index, inst in enumerate(instructions):
+        if removed[index]:
+            continue
+        scanned = 0
+        for later in range(index + 1, len(instructions)):
+            if removed[later]:
+                continue
+            other = instructions[later]
+            if not (set(inst.qubits) & set(other.qubits)):
+                continue
+            scanned += 1
+            if scanned > window:
+                break
+            if _are_inverse(inst, other):
+                removed[index] = True
+                removed[later] = True
+                break
+            if not _commutes_past(inst, other):
+                break
+
+    result = Circuit(circuit.num_qubits, num_params=circuit.num_params)
+    for index, inst in enumerate(instructions):
+        if not removed[index]:
+            result.append(inst.gate, inst.qubits, inst.params)
+    return result
+
+
+def merge_u1_into_neighbours(circuit: Circuit) -> Circuit:
+    """IBM-specific pass: fold u1 phases into adjacent u2/u3 gates.
+
+    ``U3(t,p,l) . U1(d) = U3(t,p,l+d)`` and ``U1(d) . U3(t,p,l) = U3(t,p+d,l)``
+    (circuit order: the right factor is applied first), and likewise for U2.
+    This mirrors Qiskit's single-qubit fusion without leaving the exact-angle
+    fragment.
+    """
+    instructions = list(circuit.instructions)
+    removed = [False] * len(instructions)
+    replacement: Dict[int, Instruction] = {}
+
+    for index, inst in enumerate(instructions):
+        if removed[index] or inst.gate.name != "u1":
+            continue
+        qubit = inst.qubits[0]
+        delta = inst.params[0]
+        # Find the next gate on this wire.
+        for later in range(index + 1, len(instructions)):
+            other = replacement.get(later, instructions[later])
+            if removed[later] or qubit not in other.qubits:
+                continue
+            if other.gate.name == "u2":
+                phi, lam = other.params
+                replacement[later] = Instruction("u2", other.qubits, [phi, lam + delta])
+                removed[index] = True
+            elif other.gate.name == "u3":
+                theta, phi, lam = other.params
+                replacement[later] = Instruction(
+                    "u3", other.qubits, [theta, phi, lam + delta]
+                )
+                removed[index] = True
+            elif other.gate.name == "u1":
+                replacement[later] = Instruction(
+                    "u1", other.qubits, [other.params[0] + delta]
+                )
+                removed[index] = True
+            break
+
+    result = Circuit(circuit.num_qubits, num_params=circuit.num_params)
+    for index, inst in enumerate(instructions):
+        if removed[index]:
+            continue
+        final = replacement.get(index, inst)
+        if final.gate.name == "u1" and final.params[0].is_constant():
+            if final.params[0].normalized_2pi().pi_multiple == 0:
+                continue
+        result.append(final.gate, final.qubits, final.params)
+    return result
+
+
+def fixpoint(passes: Sequence[Pass], max_rounds: int = 20) -> Pass:
+    """Compose passes and iterate them until the gate count stops improving."""
+
+    def run(circuit: Circuit) -> Circuit:
+        current = circuit
+        for _ in range(max_rounds):
+            before = current.gate_count
+            for pass_fn in passes:
+                current = pass_fn(current)
+            if current.gate_count >= before:
+                break
+        return current
+
+    return run
+
+
+# Convenience re-exports so baselines can compose passes from one place.
+PASS_LIBRARY: Dict[str, Pass] = {
+    "cancel_adjacent": cancel_adjacent_inverses,
+    "merge_adjacent_rotations": merge_adjacent_rotations,
+    "cancel_with_commutation": cancel_with_commutation,
+    "rotation_merging": merge_rotations,
+    "merge_u1": merge_u1_into_neighbours,
+}

@@ -1,0 +1,77 @@
+"""GF(2^n) multiplier benchmarks (``gf2^n_mult``).
+
+The original benchmarks are Mastrovito multipliers: the product of two
+field elements a and b (n qubits each) is accumulated into an output
+register c with one Toffoli per partial product ``a_i * b_j``, and the
+reduction modulo an irreducible polynomial folds the high-degree partial
+products back onto the low-order output bits (extra Toffolis targeting more
+than one output bit).  The circuits below use standard irreducible trinomials
+and pentanomials for each field size, giving Toffoli/CNOT networks over 3n
+qubits just like the originals.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.ir.circuit import Circuit
+
+# Irreducible polynomials over GF(2), given by the exponents of the terms
+# besides x^n and 1 (e.g. x^4 + x + 1 -> [1]).
+_REDUCTION_TERMS: Dict[int, List[int]] = {
+    2: [1],
+    3: [1],
+    4: [1],
+    5: [2],
+    6: [1],
+    7: [1],
+    8: [4, 3, 1],
+    9: [1],
+    10: [3],
+}
+
+
+def gf2_mult(num_bits: int) -> Circuit:
+    """The GF(2^n) Mastrovito multiplier: |a, b, 0> -> |a, b, a*b>.
+
+    Qubit layout: a_0..a_{n-1}, b_0..b_{n-1}, c_0..c_{n-1}.
+    """
+    if num_bits not in _REDUCTION_TERMS:
+        raise ValueError(f"no reduction polynomial configured for n={num_bits}")
+    n = num_bits
+    a = list(range(n))
+    b = list(range(n, 2 * n))
+    c = list(range(2 * n, 3 * n))
+    circuit = Circuit(3 * n)
+
+    # Degrees of x^d reduced modulo the field polynomial, as sets of output bits.
+    reduced: Dict[int, List[int]] = {d: [d] for d in range(n)}
+    for degree in range(n, 2 * n - 1):
+        terms: List[int] = []
+        for lower in [0] + _REDUCTION_TERMS[n]:
+            shifted = degree - n + lower
+            if shifted < n:
+                terms.extend(reduced[shifted])
+            else:
+                terms.extend(reduced_mod(shifted, n, reduced))
+        # XOR semantics: a bit appearing an even number of times cancels.
+        folded = [bit for bit in set(terms) if terms.count(bit) % 2 == 1]
+        reduced[degree] = sorted(folded)
+
+    for i in range(n):
+        for j in range(n):
+            degree = i + j
+            for target_bit in reduced[degree]:
+                circuit.ccx(a[i], b[j], c[target_bit])
+    return circuit
+
+
+def reduced_mod(degree: int, n: int, reduced: Dict[int, List[int]]) -> List[int]:
+    """Helper for folding degrees that exceed 2n-2 during table construction."""
+    if degree in reduced:
+        return reduced[degree]
+    terms: List[int] = []
+    for lower in [0] + _REDUCTION_TERMS[n]:
+        shifted = degree - n + lower
+        terms.extend(reduced_mod(shifted, n, reduced) if shifted >= n else reduced[shifted])
+    return [bit for bit in set(terms) if terms.count(bit) % 2 == 1]

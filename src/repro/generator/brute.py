@@ -1,0 +1,118 @@
+"""Brute-force circuit counting: the baseline column of Table 6.
+
+Table 6 compares the number of circuits RepGen examines against the number of
+*all possible* circuits with at most n gates over q qubits (counted in
+sequence representation, respecting the parameter-expression specification
+Sigma and its single-use restriction).  Enumerating those circuits explicitly
+is exactly what RepGen avoids, so this module only counts them, using a
+memoized recursion over (gates remaining, parameters still unused): the
+allowed expression families (p_i, 2 p_i, p_i + p_j) are symmetric in the
+parameters, so the extension count depends only on how many parameters
+remain unused, not on which ones.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+from repro.ir.gatesets import GateSet
+from repro.ir.params import ParamSpec
+
+
+def characteristic(
+    gate_set: GateSet,
+    num_qubits: int,
+    num_params: int | None = None,
+    param_spec: ParamSpec | None = None,
+) -> int:
+    """ch(G, Sigma, q, m): the number of single-gate circuits, |C^(1,q)| - 1."""
+    num_params = gate_set.num_params if num_params is None else num_params
+    spec = param_spec or ParamSpec(num_params)
+    return _extensions_count(gate_set, num_qubits, spec, num_params)
+
+
+def count_possible_circuits(
+    gate_set: GateSet,
+    max_gates: int,
+    num_qubits: int,
+    num_params: int | None = None,
+    param_spec: ParamSpec | None = None,
+    include_empty: bool = True,
+) -> int:
+    """Count all sequences with at most ``max_gates`` gates over q qubits."""
+    num_params = gate_set.num_params if num_params is None else num_params
+    spec = param_spec or ParamSpec(num_params)
+
+    memo: Dict[Tuple[int, int], int] = {}
+
+    def count_from(remaining_gates: int, unused_params: int) -> int:
+        """Sequences with at most ``remaining_gates`` further gates."""
+        if remaining_gates == 0:
+            return 1
+        key = (remaining_gates, unused_params)
+        if key in memo:
+            return memo[key]
+        total = 1  # the choice to add no further gate
+        for gate in gate_set.gates:
+            arrangements = math.perm(num_qubits, gate.num_qubits)
+            if arrangements == 0:
+                continue
+            available = unused_params if spec.single_use else num_params
+            for consumed, ways in _param_choice_counts(
+                gate.num_params, available, spec
+            ).items():
+                if ways == 0:
+                    continue
+                next_unused = (
+                    unused_params - consumed if spec.single_use else unused_params
+                )
+                total += arrangements * ways * count_from(remaining_gates - 1, next_unused)
+        memo[key] = total
+        return total
+
+    count = count_from(max_gates, num_params)
+    return count if include_empty else count - 1
+
+
+def _param_choice_counts(slots: int, available: int, spec: ParamSpec) -> Dict[int, int]:
+    """Count expression tuples for ``slots`` parameter slots.
+
+    Returns a map ``{params consumed: number of expression tuples}`` given
+    ``available`` unused parameters.  Slots are filled left to right; an
+    expression of the form ``p_i``/``2 p_i`` consumes one parameter and a sum
+    ``p_i + p_j`` consumes two, mirroring
+    :meth:`repro.ir.params.ParamSpec.expressions_avoiding`.
+    """
+    counts: Dict[int, int] = {}
+
+    def recurse(slots_left: int, remaining: int, consumed: int, ways: int) -> None:
+        if slots_left == 0:
+            counts[consumed] = counts.get(consumed, 0) + ways
+            return
+        single_forms = 1 + (1 if spec.allow_double else 0)
+        if remaining >= 1 and single_forms:
+            recurse(
+                slots_left - 1,
+                remaining - 1,
+                consumed + 1,
+                ways * remaining * single_forms,
+            )
+        if spec.allow_sum and remaining >= 2:
+            pairs = remaining * (remaining - 1) // 2
+            recurse(slots_left - 1, remaining - 2, consumed + 2, ways * pairs)
+
+    recurse(slots, available, 0, 1)
+    return counts
+
+
+def _extensions_count(
+    gate_set: GateSet, num_qubits: int, spec: ParamSpec, unused_params: int
+) -> int:
+    """Number of single-gate instructions with ``unused_params`` available."""
+    total = 0
+    for gate in gate_set.gates:
+        arrangements = math.perm(num_qubits, gate.num_qubits)
+        counts = _param_choice_counts(gate.num_params, unused_params, spec)
+        total += arrangements * sum(counts.values())
+    return total

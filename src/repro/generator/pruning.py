@@ -1,0 +1,138 @@
+"""Transformation pruning (Section 5 of the paper).
+
+Two passes run after RepGen and preserve (n, q)-completeness:
+
+* **ECC simplification** removes qubits and parameters that no circuit of a
+  class touches, then de-duplicates classes that became identical (also up to
+  a permutation of the parameters).
+* **Common-subcircuit pruning** drops from each class the circuits that share
+  a first or last gate with the class representative: the transformation
+  between them is subsumed by the smaller transformation obtained by removing
+  the shared gate (Theorem 4), which the (n, q)-complete set already
+  contains.  Classes reduced below two circuits are dropped.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.generator.ecc import ECC, ECCSet
+from repro.ir.circuit import Circuit, Instruction
+
+
+# ---------------------------------------------------------------------------
+# ECC simplification
+# ---------------------------------------------------------------------------
+
+
+def simplify_ecc_set(ecc_set: ECCSet) -> ECCSet:
+    """Remove unused qubits/parameters and merge classes that become equal."""
+    simplified: Dict[tuple, ECC] = {}
+    for ecc in ecc_set:
+        new_ecc = _simplify_ecc(ecc)
+        key = _ecc_key_up_to_param_permutation(new_ecc, ecc_set.num_params)
+        if key not in simplified:
+            simplified[key] = new_ecc
+    return ECCSet(list(simplified.values()), ecc_set.num_qubits, ecc_set.num_params)
+
+
+def _simplify_ecc(ecc: ECC) -> ECC:
+    used_qubits: Set[int] = set()
+    used_params: Set[int] = set()
+    for circuit in ecc:
+        used_qubits |= circuit.used_qubits()
+        used_params |= circuit.used_params()
+
+    qubit_map = {old: new for new, old in enumerate(sorted(used_qubits))}
+    param_map = {old: new for new, old in enumerate(sorted(used_params))}
+    num_qubits = len(qubit_map)
+
+    new_circuits = []
+    for circuit in ecc:
+        remapped = circuit.remap_qubits(qubit_map, num_qubits=max(num_qubits, 1) if used_qubits else 0)
+        if param_map and any(old != new for old, new in param_map.items()):
+            from repro.ir.params import Angle
+
+            assignment = {old: Angle.param(new) for old, new in param_map.items()}
+            remapped = remapped.substitute_params(assignment)
+        new_circuits.append(remapped)
+    return ECC(new_circuits)
+
+
+def _ecc_key_up_to_param_permutation(ecc: ECC, num_params: int) -> tuple:
+    """Canonical key of a class, minimized over permutations of parameters.
+
+    Parameters carry no inherent order (Section 5.1), so classes that differ
+    only by renaming p_0 <-> p_1 are duplicates; the canonical key is the
+    lexicographically smallest circuit-key tuple over all permutations of the
+    parameters actually used.
+    """
+    used_params: Set[int] = set()
+    for circuit in ecc:
+        used_params |= circuit.used_params()
+    used = sorted(used_params)
+    if len(used) <= 1:
+        return ecc.canonical_key()
+
+    from repro.ir.params import Angle
+
+    best: tuple | None = None
+    for permutation in itertools.permutations(used):
+        assignment = {old: Angle.param(new) for old, new in zip(used, permutation)}
+        permuted = ECC(circuit.substitute_params(assignment) for circuit in ecc)
+        key = permuted.canonical_key()
+        if best is None or key < best:
+            best = key
+    assert best is not None
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Common-subcircuit pruning
+# ---------------------------------------------------------------------------
+
+
+def prune_common_subcircuits(ecc_set: ECCSet) -> ECCSet:
+    """Drop circuits whose transformation with the representative shares a
+    first or last gate, then drop classes with fewer than two circuits."""
+    pruned_eccs: List[ECC] = []
+    for ecc in ecc_set:
+        representative = ecc.representative
+        kept = [representative]
+        for circuit in ecc.others():
+            if _share_boundary_gate(representative, circuit):
+                continue
+            kept.append(circuit)
+        if len(kept) >= 2:
+            pruned_eccs.append(ECC(kept))
+    return ECCSet(pruned_eccs, ecc_set.num_qubits, ecc_set.num_params)
+
+
+def _share_boundary_gate(circuit_a: Circuit, circuit_b: Circuit) -> bool:
+    """True when the circuits share an initial or final gate (Section 5.2)."""
+    first_a = _boundary_instructions(circuit_a, initial=True)
+    first_b = _boundary_instructions(circuit_b, initial=True)
+    if first_a & first_b:
+        return True
+    last_a = _boundary_instructions(circuit_a, initial=False)
+    last_b = _boundary_instructions(circuit_b, initial=False)
+    return bool(last_a & last_b)
+
+
+def _boundary_instructions(circuit: Circuit, initial: bool) -> Set[tuple]:
+    """The gates at the beginning (or end) of a circuit, as hashable keys.
+
+    A gate is at the beginning if no earlier gate touches any of its qubits
+    (and symmetrically for the end).
+    """
+    instructions = (
+        list(circuit.instructions) if initial else list(reversed(circuit.instructions))
+    )
+    blocked: Set[int] = set()
+    boundary: Set[tuple] = set()
+    for inst in instructions:
+        if not (set(inst.qubits) & blocked):
+            boundary.add(inst.sort_key())
+        blocked |= set(inst.qubits)
+    return boundary

@@ -1,0 +1,30 @@
+"""Circuit intermediate representation: angles, gates, gate sets, circuits.
+
+The IR mirrors Section 2 of the paper: circuits are sequences of gate
+applications (:class:`repro.ir.circuit.Circuit`) or, equivalently, directed
+graphs (:class:`repro.ir.dag.CircuitDAG`); gates may take symbolic parameter
+expressions (:class:`repro.ir.params.Angle`).
+"""
+
+from repro.ir.params import Angle, ParamSpec
+from repro.ir.gates import Gate, GATE_REGISTRY, get_gate
+from repro.ir.gatesets import GateSet, NAM, IBM, RIGETTI, CLIFFORD_T, get_gate_set
+from repro.ir.circuit import Circuit, Instruction
+from repro.ir.dag import CircuitDAG
+
+__all__ = [
+    "Angle",
+    "ParamSpec",
+    "Gate",
+    "GATE_REGISTRY",
+    "get_gate",
+    "GateSet",
+    "NAM",
+    "IBM",
+    "RIGETTI",
+    "CLIFFORD_T",
+    "get_gate_set",
+    "Circuit",
+    "Instruction",
+    "CircuitDAG",
+]

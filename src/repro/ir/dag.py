@@ -1,0 +1,167 @@
+"""Graph (DAG) representation of circuits and convex-subgraph utilities.
+
+This is the representation the optimizer works with (Section 6 of the
+paper): each gate is a vertex, and edges follow the per-qubit wire order.
+Subcircuits correspond exactly to *convex* subgraphs — sets of vertices such
+that every path between two members stays inside the set — so the pattern
+matcher checks convexity before rewriting, and the splice operation relies
+on the fact that a convex set can be made contiguous in some topological
+order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.ir.circuit import Circuit, Instruction
+
+
+class CircuitDAG:
+    """Directed acyclic graph view of a circuit.
+
+    Nodes are integer ids in original program order; edges connect each gate
+    to the next gate on every qubit it touches.
+    """
+
+    def __init__(self, num_qubits: int, num_params: int = 0) -> None:
+        self.num_qubits = num_qubits
+        self.num_params = num_params
+        self.nodes: Dict[int, Instruction] = {}
+        self.successors: Dict[int, Set[int]] = {}
+        self.predecessors: Dict[int, Set[int]] = {}
+        # For each qubit, node ids in wire order.
+        self.wires: List[List[int]] = [[] for _ in range(num_qubits)]
+        self._next_id = 0
+
+    # -- construction -------------------------------------------------------
+
+    @staticmethod
+    def from_circuit(circuit: Circuit) -> "CircuitDAG":
+        dag = CircuitDAG(circuit.num_qubits, circuit.num_params)
+        for inst in circuit.instructions:
+            dag.add_instruction(inst)
+        return dag
+
+    def add_instruction(self, inst: Instruction) -> int:
+        node_id = self._next_id
+        self._next_id += 1
+        self.nodes[node_id] = inst
+        self.successors[node_id] = set()
+        self.predecessors[node_id] = set()
+        for qubit in inst.qubits:
+            wire = self.wires[qubit]
+            if wire:
+                prev = wire[-1]
+                self.successors[prev].add(node_id)
+                self.predecessors[node_id].add(prev)
+            wire.append(node_id)
+        return node_id
+
+    # -- queries --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def node_ids(self) -> List[int]:
+        return sorted(self.nodes)
+
+    def topological_order(self) -> List[int]:
+        """Node ids in a topological order (original order is one)."""
+        return sorted(self.nodes)
+
+    def to_circuit(self) -> Circuit:
+        return Circuit(
+            self.num_qubits,
+            [self.nodes[i] for i in self.topological_order()],
+            self.num_params,
+        )
+
+    def next_on_wire(self, node_id: int, qubit: int) -> int | None:
+        """Return the node that follows ``node_id`` on ``qubit``'s wire."""
+        wire = self.wires[qubit]
+        index = wire.index(node_id)
+        if index + 1 < len(wire):
+            return wire[index + 1]
+        return None
+
+    def prev_on_wire(self, node_id: int, qubit: int) -> int | None:
+        """Return the node that precedes ``node_id`` on ``qubit``'s wire."""
+        wire = self.wires[qubit]
+        index = wire.index(node_id)
+        if index > 0:
+            return wire[index - 1]
+        return None
+
+    def descendants(self, sources: Iterable[int]) -> Set[int]:
+        """All nodes reachable from ``sources`` (excluding the sources)."""
+        seen: Set[int] = set()
+        stack = list(sources)
+        roots = set(stack)
+        while stack:
+            node = stack.pop()
+            for succ in self.successors[node]:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return seen - roots
+
+    def ancestors(self, sources: Iterable[int]) -> Set[int]:
+        """All nodes that can reach ``sources`` (excluding the sources)."""
+        seen: Set[int] = set()
+        stack = list(sources)
+        roots = set(stack)
+        while stack:
+            node = stack.pop()
+            for pred in self.predecessors[node]:
+                if pred not in seen:
+                    seen.add(pred)
+                    stack.append(pred)
+        return seen - roots
+
+    def is_convex(self, node_set: Iterable[int]) -> bool:
+        """Check whether ``node_set`` induces a convex subgraph.
+
+        A set is convex iff no node outside the set lies on a path between
+        two nodes of the set; equivalently, no outside node is simultaneously
+        a descendant and an ancestor of the set.
+        """
+        members = set(node_set)
+        if not members:
+            return True
+        below = self.descendants(members) - members
+        above = self.ancestors(members) - members
+        return not (below & above)
+
+    # -- rewriting ------------------------------------------------------------
+
+    def splice(
+        self,
+        matched: Sequence[int],
+        replacement: Sequence[Instruction],
+    ) -> Circuit:
+        """Return a new circuit with the convex set ``matched`` replaced.
+
+        The replacement instructions must already be expressed over this
+        DAG's qubits (the matcher performs the qubit/parameter translation).
+        Nodes that must come before the matched set (its ancestors) keep
+        their relative order and are emitted first, then the replacement,
+        then everything else — valid because the matched set is convex.
+        """
+        members = set(matched)
+        if not self.is_convex(members):
+            raise ValueError("cannot splice a non-convex node set")
+        before = self.ancestors(members) - members
+        instructions: List[Instruction] = []
+        for node_id in self.topological_order():
+            if node_id in before:
+                instructions.append(self.nodes[node_id])
+        instructions.extend(replacement)
+        for node_id in self.topological_order():
+            if node_id not in before and node_id not in members:
+                instructions.append(self.nodes[node_id])
+        return Circuit(self.num_qubits, instructions, self.num_params)
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitDAG(num_qubits={self.num_qubits}, nodes={len(self.nodes)})"
+        )

@@ -1,0 +1,573 @@
+"""Quantum gate definitions with numeric and symbolic matrix semantics.
+
+Every gate provides two views of its unitary:
+
+* ``numeric(params)``   — a dense ``numpy`` matrix given float parameter
+  values, used by the simulator and the fingerprinting machinery.
+* ``symbolic(builder, angles)`` — a :class:`repro.linalg.SymMatrix` whose
+  entries are trig polynomials, built through a *trig builder* supplied by
+  the verifier.  The builder knows how the verifier chose to split angles
+  into atoms; gates only declare which trigonometric expressions they need
+  (``cos(theta/2)``, ``e^{i phi}``, ...), exactly as in eq. (1) and eq. (4)
+  of the paper.
+
+The registry covers the union of the gate sets used in the paper (Table 1)
+plus the Clifford+T input set and the Toffoli-family gates needed by the
+benchmark circuits and the preprocessing passes.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Callable, Dict, List, Protocol, Sequence
+
+import numpy as np
+
+from repro.ir.params import Angle
+from repro.linalg.cnumber import CNumber
+from repro.linalg.qsqrt2 import QSqrt2
+from repro.linalg.symmatrix import SymMatrix
+from repro.linalg.trigpoly import TrigPoly
+
+
+class TrigBuilder(Protocol):
+    """Interface gates use to construct symbolic matrix entries.
+
+    The verifier implements this protocol (see
+    :class:`repro.verifier.trig.AtomTrigBuilder`); a gate calls it with
+    :class:`Angle` arguments such as ``theta.scale(Fraction(1, 2))`` and
+    receives :class:`TrigPoly` values over the verifier's atoms.
+    """
+
+    def cos(self, angle: Angle) -> TrigPoly: ...
+
+    def sin(self, angle: Angle) -> TrigPoly: ...
+
+    def exp_i(self, angle: Angle) -> TrigPoly: ...
+
+
+HALF = Fraction(1, 2)
+
+_ZERO = TrigPoly.zero()
+_ONE = TrigPoly.one()
+_MINUS_ONE = TrigPoly.constant(-1)
+_I = TrigPoly.i()
+_MINUS_I = TrigPoly.constant(CNumber(0, -1))
+_INV_SQRT2 = TrigPoly.constant(CNumber(QSqrt2.half_sqrt2()))
+
+
+class Gate:
+    """A (possibly parametric) quantum gate."""
+
+    def __init__(
+        self,
+        name: str,
+        num_qubits: int,
+        num_params: int,
+        numeric: Callable[[Sequence[float]], np.ndarray],
+        symbolic: Callable[[TrigBuilder, Sequence[Angle]], SymMatrix],
+        *,
+        self_inverse: bool = False,
+        inverse_name: str | None = None,
+        is_diagonal: bool = False,
+        description: str = "",
+    ) -> None:
+        self.name = name
+        self.num_qubits = num_qubits
+        self.num_params = num_params
+        self._numeric = numeric
+        self._symbolic = symbolic
+        self.self_inverse = self_inverse
+        self.inverse_name = name if self_inverse else inverse_name
+        self.is_diagonal = is_diagonal
+        self.description = description
+
+    @property
+    def is_parametric(self) -> bool:
+        return self.num_params > 0
+
+    def numeric(self, params: Sequence[float] = ()) -> np.ndarray:
+        """Return the gate unitary as a complex numpy array."""
+        if len(params) != self.num_params:
+            raise ValueError(
+                f"gate {self.name} expects {self.num_params} parameters, got {len(params)}"
+            )
+        return self._numeric(params)
+
+    def symbolic(self, builder: TrigBuilder, angles: Sequence[Angle] = ()) -> SymMatrix:
+        """Return the gate unitary as a symbolic matrix over trig polynomials."""
+        if len(angles) != self.num_params:
+            raise ValueError(
+                f"gate {self.name} expects {self.num_params} parameters, got {len(angles)}"
+            )
+        return self._symbolic(builder, angles)
+
+    def __repr__(self) -> str:
+        return f"Gate({self.name!r}, qubits={self.num_qubits}, params={self.num_params})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Gate) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("Gate", self.name))
+
+
+# ---------------------------------------------------------------------------
+# Numeric matrices
+# ---------------------------------------------------------------------------
+
+
+def _np_h(_params: Sequence[float]) -> np.ndarray:
+    return np.array([[1, 1], [1, -1]], dtype=complex) / math.sqrt(2.0)
+
+
+def _np_x(_params: Sequence[float]) -> np.ndarray:
+    return np.array([[0, 1], [1, 0]], dtype=complex)
+
+
+def _np_y(_params: Sequence[float]) -> np.ndarray:
+    return np.array([[0, -1j], [1j, 0]], dtype=complex)
+
+
+def _np_z(_params: Sequence[float]) -> np.ndarray:
+    return np.array([[1, 0], [0, -1]], dtype=complex)
+
+
+def _np_phase(angle: float) -> np.ndarray:
+    return np.array([[1, 0], [0, np.exp(1j * angle)]], dtype=complex)
+
+
+def _np_s(_params: Sequence[float]) -> np.ndarray:
+    return _np_phase(math.pi / 2)
+
+
+def _np_sdg(_params: Sequence[float]) -> np.ndarray:
+    return _np_phase(-math.pi / 2)
+
+
+def _np_t(_params: Sequence[float]) -> np.ndarray:
+    return _np_phase(math.pi / 4)
+
+
+def _np_tdg(_params: Sequence[float]) -> np.ndarray:
+    return _np_phase(-math.pi / 4)
+
+
+def _np_rx(params: Sequence[float]) -> np.ndarray:
+    theta = params[0]
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+
+
+def _np_ry(params: Sequence[float]) -> np.ndarray:
+    theta = params[0]
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def _np_rz(params: Sequence[float]) -> np.ndarray:
+    theta = params[0]
+    return np.array(
+        [[np.exp(-0.5j * theta), 0], [0, np.exp(0.5j * theta)]], dtype=complex
+    )
+
+
+def _np_u1(params: Sequence[float]) -> np.ndarray:
+    return _np_phase(params[0])
+
+
+def _np_u2(params: Sequence[float]) -> np.ndarray:
+    phi, lam = params
+    inv = 1.0 / math.sqrt(2.0)
+    return np.array(
+        [
+            [inv, -inv * np.exp(1j * lam)],
+            [inv * np.exp(1j * phi), inv * np.exp(1j * (phi + lam))],
+        ],
+        dtype=complex,
+    )
+
+
+def _np_u3(params: Sequence[float]) -> np.ndarray:
+    theta, phi, lam = params
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array(
+        [
+            [c, -np.exp(1j * lam) * s],
+            [np.exp(1j * phi) * s, np.exp(1j * (phi + lam)) * c],
+        ],
+        dtype=complex,
+    )
+
+
+def _np_rx90(_params: Sequence[float]) -> np.ndarray:
+    return _np_rx([math.pi / 2])
+
+
+def _np_rx90dg(_params: Sequence[float]) -> np.ndarray:
+    return _np_rx([-math.pi / 2])
+
+
+def _np_cx(_params: Sequence[float]) -> np.ndarray:
+    return np.array(
+        [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=complex
+    )
+
+
+def _np_cz(_params: Sequence[float]) -> np.ndarray:
+    return np.diag([1, 1, 1, -1]).astype(complex)
+
+
+def _np_swap(_params: Sequence[float]) -> np.ndarray:
+    return np.array(
+        [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
+    )
+
+
+def _np_ccx(_params: Sequence[float]) -> np.ndarray:
+    matrix = np.eye(8, dtype=complex)
+    matrix[6, 6] = matrix[7, 7] = 0
+    matrix[6, 7] = matrix[7, 6] = 1
+    return matrix
+
+
+def _np_ccz(_params: Sequence[float]) -> np.ndarray:
+    matrix = np.eye(8, dtype=complex)
+    matrix[7, 7] = -1
+    return matrix
+
+
+# ---------------------------------------------------------------------------
+# Symbolic matrices
+# ---------------------------------------------------------------------------
+
+
+def _const_matrix(entries: List[List[CNumber]]) -> Callable[[TrigBuilder, Sequence[Angle]], SymMatrix]:
+    matrix = SymMatrix.from_entries(entries)
+
+    def build(_builder: TrigBuilder, _angles: Sequence[Angle]) -> SymMatrix:
+        return matrix
+
+    return build
+
+
+_C0 = CNumber.zero()
+_C1 = CNumber.one()
+_CM1 = -CNumber.one()
+_CI = CNumber.i()
+_CMI = -CNumber.i()
+_CH = CNumber(QSqrt2.half_sqrt2())
+_E_PI_4 = CNumber.from_exp_i_pi_multiple(Fraction(1, 4))
+_E_MINUS_PI_4 = CNumber.from_exp_i_pi_multiple(Fraction(-1, 4))
+
+
+def _sym_rx(builder: TrigBuilder, angles: Sequence[Angle]) -> SymMatrix:
+    half = angles[0].scale(HALF)
+    c = builder.cos(half)
+    s = builder.sin(half)
+    minus_i_s = _MINUS_I * s
+    return SymMatrix([[c, minus_i_s], [minus_i_s, c]])
+
+
+def _sym_ry(builder: TrigBuilder, angles: Sequence[Angle]) -> SymMatrix:
+    half = angles[0].scale(HALF)
+    c = builder.cos(half)
+    s = builder.sin(half)
+    return SymMatrix([[c, _MINUS_ONE * s], [s, c]])
+
+
+def _sym_rz(builder: TrigBuilder, angles: Sequence[Angle]) -> SymMatrix:
+    half = angles[0].scale(HALF)
+    return SymMatrix(
+        [[builder.exp_i(-half), _ZERO], [_ZERO, builder.exp_i(half)]]
+    )
+
+
+def _sym_u1(builder: TrigBuilder, angles: Sequence[Angle]) -> SymMatrix:
+    return SymMatrix([[_ONE, _ZERO], [_ZERO, builder.exp_i(angles[0])]])
+
+
+def _sym_u2(builder: TrigBuilder, angles: Sequence[Angle]) -> SymMatrix:
+    phi, lam = angles
+    return SymMatrix(
+        [
+            [_INV_SQRT2, _MINUS_ONE * _INV_SQRT2 * builder.exp_i(lam)],
+            [
+                _INV_SQRT2 * builder.exp_i(phi),
+                _INV_SQRT2 * builder.exp_i(phi + lam),
+            ],
+        ]
+    )
+
+
+def _sym_u3(builder: TrigBuilder, angles: Sequence[Angle]) -> SymMatrix:
+    theta, phi, lam = angles
+    half = theta.scale(HALF)
+    c = builder.cos(half)
+    s = builder.sin(half)
+    return SymMatrix(
+        [
+            [c, _MINUS_ONE * builder.exp_i(lam) * s],
+            [builder.exp_i(phi) * s, builder.exp_i(phi + lam) * c],
+        ]
+    )
+
+
+def _sym_rx90(builder: TrigBuilder, _angles: Sequence[Angle]) -> SymMatrix:
+    return _sym_rx(builder, [Angle.pi(HALF)])
+
+
+def _sym_rx90dg(builder: TrigBuilder, _angles: Sequence[Angle]) -> SymMatrix:
+    return _sym_rx(builder, [Angle.pi(-HALF)])
+
+
+def _diag_const(values: List[CNumber]) -> List[List[CNumber]]:
+    size = len(values)
+    return [
+        [values[i] if i == j else _C0 for j in range(size)] for i in range(size)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+GATE_REGISTRY: Dict[str, Gate] = {}
+
+
+def _register(gate: Gate) -> Gate:
+    GATE_REGISTRY[gate.name] = gate
+    return gate
+
+
+H = _register(
+    Gate(
+        "h",
+        1,
+        0,
+        _np_h,
+        _const_matrix([[_CH, _CH], [_CH, -_CH]]),
+        self_inverse=True,
+        description="Hadamard",
+    )
+)
+X = _register(
+    Gate(
+        "x",
+        1,
+        0,
+        _np_x,
+        _const_matrix([[_C0, _C1], [_C1, _C0]]),
+        self_inverse=True,
+        description="Pauli X",
+    )
+)
+Y = _register(
+    Gate(
+        "y",
+        1,
+        0,
+        _np_y,
+        _const_matrix([[_C0, _CMI], [_CI, _C0]]),
+        self_inverse=True,
+        description="Pauli Y",
+    )
+)
+Z = _register(
+    Gate(
+        "z",
+        1,
+        0,
+        _np_z,
+        _const_matrix(_diag_const([_C1, _CM1])),
+        self_inverse=True,
+        is_diagonal=True,
+        description="Pauli Z",
+    )
+)
+S = _register(
+    Gate(
+        "s",
+        1,
+        0,
+        _np_s,
+        _const_matrix(_diag_const([_C1, _CI])),
+        inverse_name="sdg",
+        is_diagonal=True,
+        description="S = sqrt(Z)",
+    )
+)
+SDG = _register(
+    Gate(
+        "sdg",
+        1,
+        0,
+        _np_sdg,
+        _const_matrix(_diag_const([_C1, _CMI])),
+        inverse_name="s",
+        is_diagonal=True,
+        description="S dagger",
+    )
+)
+T = _register(
+    Gate(
+        "t",
+        1,
+        0,
+        _np_t,
+        _const_matrix(_diag_const([_C1, _E_PI_4])),
+        inverse_name="tdg",
+        is_diagonal=True,
+        description="T = sqrt(S)",
+    )
+)
+TDG = _register(
+    Gate(
+        "tdg",
+        1,
+        0,
+        _np_tdg,
+        _const_matrix(_diag_const([_C1, _E_MINUS_PI_4])),
+        inverse_name="t",
+        is_diagonal=True,
+        description="T dagger",
+    )
+)
+RX = _register(
+    Gate("rx", 1, 1, _np_rx, _sym_rx, description="rotation about X")
+)
+RY = _register(
+    Gate("ry", 1, 1, _np_ry, _sym_ry, description="rotation about Y")
+)
+RZ = _register(
+    Gate("rz", 1, 1, _np_rz, _sym_rz, is_diagonal=True, description="rotation about Z")
+)
+U1 = _register(
+    Gate("u1", 1, 1, _np_u1, _sym_u1, is_diagonal=True, description="IBM U1 (phase)")
+)
+U2 = _register(Gate("u2", 1, 2, _np_u2, _sym_u2, description="IBM U2"))
+U3 = _register(Gate("u3", 1, 3, _np_u3, _sym_u3, description="IBM U3"))
+RX90 = _register(
+    Gate(
+        "rx90",
+        1,
+        0,
+        _np_rx90,
+        _sym_rx90,
+        inverse_name="rx90dg",
+        description="Rigetti Rx(+pi/2)",
+    )
+)
+RX90DG = _register(
+    Gate(
+        "rx90dg",
+        1,
+        0,
+        _np_rx90dg,
+        _sym_rx90dg,
+        inverse_name="rx90",
+        description="Rigetti Rx(-pi/2)",
+    )
+)
+CX = _register(
+    Gate(
+        "cx",
+        2,
+        0,
+        _np_cx,
+        _const_matrix(
+            [
+                [_C1, _C0, _C0, _C0],
+                [_C0, _C1, _C0, _C0],
+                [_C0, _C0, _C0, _C1],
+                [_C0, _C0, _C1, _C0],
+            ]
+        ),
+        self_inverse=True,
+        description="CNOT (control, target)",
+    )
+)
+CZ = _register(
+    Gate(
+        "cz",
+        2,
+        0,
+        _np_cz,
+        _const_matrix(_diag_const([_C1, _C1, _C1, _CM1])),
+        self_inverse=True,
+        is_diagonal=True,
+        description="controlled Z",
+    )
+)
+SWAP = _register(
+    Gate(
+        "swap",
+        2,
+        0,
+        _np_swap,
+        _const_matrix(
+            [
+                [_C1, _C0, _C0, _C0],
+                [_C0, _C0, _C1, _C0],
+                [_C0, _C1, _C0, _C0],
+                [_C0, _C0, _C0, _C1],
+            ]
+        ),
+        self_inverse=True,
+        description="SWAP",
+    )
+)
+CCX = _register(
+    Gate(
+        "ccx",
+        3,
+        0,
+        _np_ccx,
+        _const_matrix(
+            [
+                [_C1 if (i == j and i < 6) or (i == 6 and j == 7) or (i == 7 and j == 6) else _C0 for j in range(8)]
+                for i in range(8)
+            ]
+        ),
+        self_inverse=True,
+        description="Toffoli (controls, target)",
+    )
+)
+CCZ = _register(
+    Gate(
+        "ccz",
+        3,
+        0,
+        _np_ccz,
+        _const_matrix(_diag_const([_C1] * 7 + [_CM1])),
+        self_inverse=True,
+        is_diagonal=True,
+        description="controlled-controlled Z",
+    )
+)
+
+
+def get_gate(name: str) -> Gate:
+    """Look up a gate by its canonical lowercase name.
+
+    Raises:
+        KeyError: if the gate is unknown.
+    """
+    key = name.lower()
+    aliases = {"cnot": "cx", "toffoli": "ccx", "p": "u1", "phase": "u1"}
+    key = aliases.get(key, key)
+    if key not in GATE_REGISTRY:
+        raise KeyError(f"unknown gate {name!r}")
+    return GATE_REGISTRY[key]
+
+
+def inverse_gate(gate: Gate) -> Gate | None:
+    """Return the gate whose matrix is the inverse, if it is a registry gate.
+
+    Parametric rotations invert by negating their angle, which is handled by
+    callers; this helper only resolves fixed-gate inverses (``t`` ↔ ``tdg``).
+    """
+    if gate.inverse_name is None:
+        return None
+    return GATE_REGISTRY[gate.inverse_name]

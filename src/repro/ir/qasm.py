@@ -1,0 +1,181 @@
+"""Minimal OpenQASM 2.0 reader and writer.
+
+The benchmark circuits of the paper are distributed as OpenQASM files; this
+module lets the reproduction exchange circuits in the same format.  The
+supported subset covers what the benchmark suite and the three gate sets
+need: a single quantum register, the gates of the registry, and angle
+expressions that are rational multiples of pi (``pi/4``, ``3*pi/2``,
+``-pi``, ``0.785398...``) — anything finer than pi/64 is rejected because
+the exact pipeline cannot represent it.
+"""
+
+from __future__ import annotations
+
+import re
+from fractions import Fraction
+from typing import Dict, List, Tuple
+
+from repro.ir.circuit import Circuit
+from repro.ir.gates import get_gate
+from repro.ir.params import Angle, angle_from_float
+
+_GATE_LINE = re.compile(
+    r"^\s*(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)\s*"
+    r"(?:\((?P<params>[^)]*)\))?\s*"
+    r"(?P<args>[^;]+);\s*$"
+)
+_QREG = re.compile(r"^\s*qreg\s+(?P<name>\w+)\s*\[\s*(?P<size>\d+)\s*\]\s*;\s*$")
+_CREG = re.compile(r"^\s*creg\s+\w+\s*\[\s*\d+\s*\]\s*;\s*$")
+_QUBIT_REF = re.compile(r"^\s*(?P<reg>\w+)\s*\[\s*(?P<index>\d+)\s*\]\s*$")
+
+_IGNORED_PREFIXES = ("OPENQASM", "include", "//", "barrier", "measure")
+
+_QASM_NAME_ALIASES = {"cnot": "cx", "toffoli": "ccx", "p": "u1", "u": "u3"}
+
+
+class QasmError(ValueError):
+    """Raised when a QASM file cannot be parsed into the supported subset."""
+
+
+def parse_qasm(text: str) -> Circuit:
+    """Parse OpenQASM 2.0 source text into a :class:`Circuit`."""
+    registers: Dict[str, Tuple[int, int]] = {}  # name -> (offset, size)
+    total_qubits = 0
+    body: List[Tuple[str, List[Angle], List[int]]] = []
+
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or any(line.startswith(prefix) for prefix in _IGNORED_PREFIXES):
+            continue
+        qreg_match = _QREG.match(line)
+        if qreg_match:
+            name = qreg_match.group("name")
+            size = int(qreg_match.group("size"))
+            registers[name] = (total_qubits, size)
+            total_qubits += size
+            continue
+        if _CREG.match(line):
+            continue
+        gate_match = _GATE_LINE.match(line)
+        if not gate_match:
+            raise QasmError(f"cannot parse line: {raw_line!r}")
+        name = gate_match.group("name").lower()
+        name = _QASM_NAME_ALIASES.get(name, name)
+        params_text = gate_match.group("params")
+        args_text = gate_match.group("args")
+        params = _parse_params(params_text) if params_text else []
+        qubits = _parse_qubits(args_text, registers)
+        body.append((name, params, qubits))
+
+    circuit = Circuit(total_qubits)
+    for name, params, qubits in body:
+        circuit.append(get_gate(name), qubits, params)
+    return circuit
+
+
+def read_qasm(path: str) -> Circuit:
+    """Read a QASM file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_qasm(handle.read())
+
+
+def _parse_params(text: str) -> List[Angle]:
+    return [_parse_angle(token) for token in text.split(",") if token.strip()]
+
+
+def _parse_angle(token: str) -> Angle:
+    token = token.strip().replace(" ", "")
+    if not token:
+        raise QasmError("empty angle expression")
+    if "pi" in token:
+        return Angle(_parse_pi_multiple(token))
+    try:
+        value = float(token)
+    except ValueError as exc:
+        raise QasmError(f"cannot parse angle {token!r}") from exc
+    return angle_from_float(value)
+
+
+def _parse_pi_multiple(token: str) -> Fraction:
+    """Parse expressions like ``pi``, ``-pi/2``, ``3*pi/4``, ``7*pi``."""
+    sign = 1
+    if token.startswith("-"):
+        sign = -1
+        token = token[1:]
+    elif token.startswith("+"):
+        token = token[1:]
+    numerator = Fraction(1)
+    denominator = Fraction(1)
+    if "/" in token:
+        head, tail = token.split("/", 1)
+        denominator = Fraction(tail)
+    else:
+        head = token
+    if head == "pi":
+        numerator = Fraction(1)
+    elif head.endswith("*pi"):
+        numerator = Fraction(head[:-3])
+    elif head.startswith("pi*"):
+        numerator = Fraction(head[3:])
+    else:
+        raise QasmError(f"cannot parse pi expression {token!r}")
+    return sign * numerator / denominator
+
+
+def _parse_qubits(text: str, registers: Dict[str, Tuple[int, int]]) -> List[int]:
+    qubits = []
+    for token in text.split(","):
+        match = _QUBIT_REF.match(token)
+        if not match:
+            raise QasmError(f"cannot parse qubit reference {token!r}")
+        reg = match.group("reg")
+        index = int(match.group("index"))
+        if reg not in registers:
+            raise QasmError(f"unknown register {reg!r}")
+        offset, size = registers[reg]
+        if index >= size:
+            raise QasmError(f"qubit index {index} out of range for register {reg!r}")
+        qubits.append(offset + index)
+    return qubits
+
+
+def _angle_to_qasm(angle: Angle) -> str:
+    if angle.is_symbolic():
+        raise QasmError("cannot serialize a symbolic angle to QASM")
+    multiple = angle.pi_multiple
+    if multiple == 0:
+        return "0"
+    if multiple.denominator == 1:
+        if multiple == 1:
+            return "pi"
+        if multiple == -1:
+            return "-pi"
+        return f"{multiple.numerator}*pi"
+    if multiple.numerator == 1:
+        return f"pi/{multiple.denominator}"
+    if multiple.numerator == -1:
+        return f"-pi/{multiple.denominator}"
+    return f"{multiple.numerator}*pi/{multiple.denominator}"
+
+
+def to_qasm(circuit: Circuit, register_name: str = "q") -> str:
+    """Serialize a circuit (with concrete angles) to OpenQASM 2.0 text."""
+    lines = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg {register_name}[{circuit.num_qubits}];",
+    ]
+    for inst in circuit.instructions:
+        args = ", ".join(f"{register_name}[{q}]" for q in inst.qubits)
+        if inst.params:
+            params = ", ".join(_angle_to_qasm(p) for p in inst.params)
+            lines.append(f"{inst.gate.name}({params}) {args};")
+        else:
+            lines.append(f"{inst.gate.name} {args};")
+    return "\n".join(lines) + "\n"
+
+
+def write_qasm(circuit: Circuit, path: str) -> None:
+    """Write a circuit to a QASM file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_qasm(circuit))

@@ -1,0 +1,186 @@
+"""The exact scalar ring Q[sqrt(2)].
+
+Every scalar constant that appears in the gate sets used by the paper (Nam,
+IBM, Rigetti and the Clifford+T input set) is of the form ``a + b*sqrt(2)``
+with rational ``a`` and ``b``: the Hadamard gate and the fixed Rigetti
+rotations contribute ``1/sqrt(2) = sqrt(2)/2`` and the T gate and the
+pi/4-granular phase factors contribute ``cos(pi/4) = sin(pi/4) = sqrt(2)/2``.
+Representing these exactly lets the verifier decide matrix identities without
+any floating-point tolerance.
+
+Q[sqrt(2)] is a field, so division is exact as well; the multiplicative
+inverse of ``a + b*sqrt(2)`` is ``(a - b*sqrt(2)) / (a^2 - 2 b^2)``.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Union
+
+RationalLike = Union[int, Fraction]
+
+
+class QSqrt2:
+    """An element ``a + b*sqrt(2)`` of the field Q[sqrt(2)].
+
+    Instances are immutable and hashable, so they can be used as dictionary
+    values inside polynomial coefficient maps and compared structurally.
+    """
+
+    __slots__ = ("a", "b")
+
+    def __init__(self, a: RationalLike = 0, b: RationalLike = 0) -> None:
+        self.a = Fraction(a)
+        self.b = Fraction(b)
+
+    # -- constructors -----------------------------------------------------
+
+    @staticmethod
+    def zero() -> "QSqrt2":
+        return QSqrt2(0, 0)
+
+    @staticmethod
+    def one() -> "QSqrt2":
+        return QSqrt2(1, 0)
+
+    @staticmethod
+    def sqrt2() -> "QSqrt2":
+        return QSqrt2(0, 1)
+
+    @staticmethod
+    def half_sqrt2() -> "QSqrt2":
+        """Return ``sqrt(2)/2``, i.e. ``1/sqrt(2)`` — ubiquitous in gates."""
+        return QSqrt2(0, Fraction(1, 2))
+
+    @staticmethod
+    def from_rational(value: RationalLike) -> "QSqrt2":
+        return QSqrt2(Fraction(value), 0)
+
+    # -- predicates --------------------------------------------------------
+
+    def is_zero(self) -> bool:
+        return self.a == 0 and self.b == 0
+
+    def is_one(self) -> bool:
+        return self.a == 1 and self.b == 0
+
+    def is_rational(self) -> bool:
+        return self.b == 0
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def __add__(self, other: "QSqrt2 | RationalLike") -> "QSqrt2":
+        other = _coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return QSqrt2(self.a + other.a, self.b + other.b)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "QSqrt2":
+        return QSqrt2(-self.a, -self.b)
+
+    def __sub__(self, other: "QSqrt2 | RationalLike") -> "QSqrt2":
+        other = _coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return QSqrt2(self.a - other.a, self.b - other.b)
+
+    def __rsub__(self, other: "QSqrt2 | RationalLike") -> "QSqrt2":
+        other = _coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return other - self
+
+    def __mul__(self, other: "QSqrt2 | RationalLike") -> "QSqrt2":
+        other = _coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        # (a1 + b1*s)(a2 + b2*s) = a1*a2 + 2*b1*b2 + (a1*b2 + a2*b1)*s
+        return QSqrt2(
+            self.a * other.a + 2 * self.b * other.b,
+            self.a * other.b + self.b * other.a,
+        )
+
+    __rmul__ = __mul__
+
+    def inverse(self) -> "QSqrt2":
+        """Return the multiplicative inverse.
+
+        Raises:
+            ZeroDivisionError: if the element is zero.
+        """
+        norm = self.a * self.a - 2 * self.b * self.b
+        if norm == 0:
+            if self.is_zero():
+                raise ZeroDivisionError("inverse of zero in Q[sqrt(2)]")
+            # a^2 = 2 b^2 with a, b rational and not both zero is impossible
+            # because sqrt(2) is irrational, so this branch is unreachable.
+            raise ZeroDivisionError("unexpected zero norm in Q[sqrt(2)]")
+        return QSqrt2(self.a / norm, -self.b / norm)
+
+    def __truediv__(self, other: "QSqrt2 | RationalLike") -> "QSqrt2":
+        other = _coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return self * other.inverse()
+
+    def __rtruediv__(self, other: "QSqrt2 | RationalLike") -> "QSqrt2":
+        other = _coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return other * self.inverse()
+
+    def __pow__(self, exponent: int) -> "QSqrt2":
+        if not isinstance(exponent, int):
+            return NotImplemented
+        if exponent < 0:
+            return self.inverse() ** (-exponent)
+        result = QSqrt2.one()
+        base = self
+        while exponent:
+            if exponent & 1:
+                result = result * base
+            base = base * base
+            exponent >>= 1
+        return result
+
+    # -- comparisons & conversions ------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (int, Fraction)):
+            other = QSqrt2(other)
+        if not isinstance(other, QSqrt2):
+            return NotImplemented
+        return self.a == other.a and self.b == other.b
+
+    def __hash__(self) -> int:
+        return hash((self.a, self.b))
+
+    def __float__(self) -> float:
+        return float(self.a) + float(self.b) * math.sqrt(2.0)
+
+    def __bool__(self) -> bool:
+        return not self.is_zero()
+
+    def __repr__(self) -> str:
+        if self.b == 0:
+            return f"QSqrt2({self.a})"
+        return f"QSqrt2({self.a}, {self.b})"
+
+    def __str__(self) -> str:
+        if self.b == 0:
+            return str(self.a)
+        if self.a == 0:
+            return f"{self.b}*sqrt2"
+        sign = "+" if self.b > 0 else "-"
+        return f"{self.a} {sign} {abs(self.b)}*sqrt2"
+
+
+def _coerce(value: object) -> "QSqrt2":
+    if isinstance(value, QSqrt2):
+        return value
+    if isinstance(value, (int, Fraction)):
+        return QSqrt2(value)
+    return NotImplemented

@@ -1,0 +1,176 @@
+"""Dense symbolic matrices over trig polynomials.
+
+Circuit semantics composes gate matrices with matrix multiplication
+(sequential composition) and tensor products (parallel composition); the
+verifier additionally needs scalar multiplication by a symbolic phase and the
+conjugate transpose.  Matrices here are small — ``2^q x 2^q`` with ``q <= 4``
+in all experiments — so a simple dense row-major representation is adequate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from repro.linalg.cnumber import CNumber
+from repro.linalg.trigpoly import TrigPoly
+
+
+class SymMatrix:
+    """A dense matrix whose entries are :class:`TrigPoly` values."""
+
+    __slots__ = ("rows", "num_rows", "num_cols")
+
+    def __init__(self, rows: Sequence[Sequence[TrigPoly]]) -> None:
+        self.rows: List[List[TrigPoly]] = [list(row) for row in rows]
+        self.num_rows = len(self.rows)
+        self.num_cols = len(self.rows[0]) if self.rows else 0
+        for row in self.rows:
+            if len(row) != self.num_cols:
+                raise ValueError("ragged rows in SymMatrix")
+
+    # -- constructors -----------------------------------------------------
+
+    @staticmethod
+    def identity(size: int) -> "SymMatrix":
+        return SymMatrix(
+            [
+                [TrigPoly.one() if i == j else TrigPoly.zero() for j in range(size)]
+                for i in range(size)
+            ]
+        )
+
+    @staticmethod
+    def zeros(num_rows: int, num_cols: int) -> "SymMatrix":
+        return SymMatrix(
+            [[TrigPoly.zero() for _ in range(num_cols)] for _ in range(num_rows)]
+        )
+
+    @staticmethod
+    def from_entries(entries: Sequence[Sequence[object]]) -> "SymMatrix":
+        """Build a matrix from entries coercible to :class:`TrigPoly`."""
+        rows = []
+        for row in entries:
+            converted = []
+            for entry in row:
+                if isinstance(entry, TrigPoly):
+                    converted.append(entry)
+                elif isinstance(entry, CNumber):
+                    converted.append(TrigPoly.constant(entry))
+                else:
+                    converted.append(TrigPoly.constant(entry))  # type: ignore[arg-type]
+            rows.append(converted)
+        return SymMatrix(rows)
+
+    # -- accessors ----------------------------------------------------------
+
+    def __getitem__(self, index: tuple[int, int]) -> TrigPoly:
+        row, col = index
+        return self.rows[row][col]
+
+    def shape(self) -> tuple[int, int]:
+        return (self.num_rows, self.num_cols)
+
+    # -- algebra -------------------------------------------------------------
+
+    def __matmul__(self, other: "SymMatrix") -> "SymMatrix":
+        if self.num_cols != other.num_rows:
+            raise ValueError(
+                f"shape mismatch: {self.shape()} @ {other.shape()}"
+            )
+        result = []
+        for i in range(self.num_rows):
+            row = []
+            for j in range(other.num_cols):
+                acc = TrigPoly.zero()
+                for k in range(self.num_cols):
+                    left = self.rows[i][k]
+                    if left.is_zero():
+                        continue
+                    right = other.rows[k][j]
+                    if right.is_zero():
+                        continue
+                    acc = acc + left * right
+                row.append(acc)
+            result.append(row)
+        return SymMatrix(result)
+
+    def tensor(self, other: "SymMatrix") -> "SymMatrix":
+        """Return the Kronecker product ``self (x) other``."""
+        result = []
+        for i in range(self.num_rows):
+            for k in range(other.num_rows):
+                row = []
+                for j in range(self.num_cols):
+                    left = self.rows[i][j]
+                    for l in range(other.num_cols):
+                        if left.is_zero():
+                            row.append(TrigPoly.zero())
+                        else:
+                            row.append(left * other.rows[k][l])
+                result.append(row)
+        return SymMatrix(result)
+
+    def scalar_mul(self, scalar: TrigPoly | CNumber) -> "SymMatrix":
+        poly = scalar if isinstance(scalar, TrigPoly) else TrigPoly.constant(scalar)
+        return SymMatrix(
+            [[poly * entry for entry in row] for row in self.rows]
+        )
+
+    def __add__(self, other: "SymMatrix") -> "SymMatrix":
+        if self.shape() != other.shape():
+            raise ValueError("shape mismatch in addition")
+        return SymMatrix(
+            [
+                [self.rows[i][j] + other.rows[i][j] for j in range(self.num_cols)]
+                for i in range(self.num_rows)
+            ]
+        )
+
+    def __sub__(self, other: "SymMatrix") -> "SymMatrix":
+        if self.shape() != other.shape():
+            raise ValueError("shape mismatch in subtraction")
+        return SymMatrix(
+            [
+                [self.rows[i][j] - other.rows[i][j] for j in range(self.num_cols)]
+                for i in range(self.num_rows)
+            ]
+        )
+
+    def conjugate_transpose(self) -> "SymMatrix":
+        return SymMatrix(
+            [
+                [self.rows[i][j].conjugate() for i in range(self.num_rows)]
+                for j in range(self.num_cols)
+            ]
+        )
+
+    def map_entries(self, func: Callable[[TrigPoly], TrigPoly]) -> "SymMatrix":
+        return SymMatrix([[func(entry) for entry in row] for row in self.rows])
+
+    # -- predicates -----------------------------------------------------------
+
+    def is_zero(self) -> bool:
+        return all(entry.is_zero() for row in self.rows for entry in row)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SymMatrix):
+            return NotImplemented
+        if self.shape() != other.shape():
+            return False
+        return all(
+            self.rows[i][j] == other.rows[i][j]
+            for i in range(self.num_rows)
+            for j in range(self.num_cols)
+        )
+
+    def __hash__(self) -> int:
+        return hash(tuple(tuple(row) for row in self.rows))
+
+    def __repr__(self) -> str:
+        return f"SymMatrix({self.num_rows}x{self.num_cols})"
+
+    def __str__(self) -> str:
+        lines = []
+        for row in self.rows:
+            lines.append("[" + ", ".join(str(entry) for entry in row) + "]")
+        return "\n".join(lines)

@@ -1,0 +1,287 @@
+"""Pattern matching of transformations against circuits (Section 6).
+
+A transformation's source circuit is matched against *convex* subsets of the
+target circuit's DAG — the graph counterpart of the subcircuit notion — with
+three families of constraints:
+
+* **structure** — gate names and operand positions must agree, the qubit
+  mapping must be injective, and matched gates must appear on each wire in
+  the same order as in the pattern;
+* **convexity** — no unmatched gate may lie on a path between matched gates;
+* **parameters** — the pattern's symbolic angle expressions must unify with
+  the concrete angles of the matched gates.  Matching yields a system of
+  linear equations over the pattern parameters which is solved exactly by
+  elimination; free parameters (possible when e.g. the pattern contains
+  ``rz(p0 + p1)``) are set to zero, which is sound because the
+  transformation is valid for every parameter value.
+
+Applying a match instantiates the transformation's target circuit with the
+solved parameters and the match's qubit mapping, and splices it into the
+circuit in place of the matched gates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.circuit import Circuit, Instruction
+from repro.ir.dag import CircuitDAG
+from repro.ir.params import Angle
+from repro.optimizer.xfer import Transformation
+
+
+@dataclass
+class Match:
+    """One occurrence of a pattern inside a circuit."""
+
+    node_ids: Tuple[int, ...]
+    qubit_map: Dict[int, int]
+    param_assignment: Dict[int, Angle]
+
+
+class PatternMatcher:
+    """Finds and applies transformation matches on a fixed circuit."""
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit = circuit
+        self.dag = CircuitDAG.from_circuit(circuit)
+        # Index DAG nodes by gate name for fast candidate lookup.
+        self._nodes_by_gate: Dict[str, List[int]] = {}
+        for node_id, inst in self.dag.nodes.items():
+            self._nodes_by_gate.setdefault(inst.gate.name, []).append(node_id)
+        # Position of each node on each of its wires, for order checks.
+        self._wire_position: Dict[Tuple[int, int], int] = {}
+        for qubit, wire in enumerate(self.dag.wires):
+            for position, node_id in enumerate(wire):
+                self._wire_position[(node_id, qubit)] = position
+
+    # -- matching -----------------------------------------------------------
+
+    def find_matches(
+        self, pattern: Circuit, max_matches: Optional[int] = None
+    ) -> List[Match]:
+        """Return matches of ``pattern`` as convex subcircuits of the circuit."""
+        if len(pattern) == 0 or len(pattern) > len(self.circuit):
+            return []
+        matches: List[Match] = []
+        assignment: List[int] = []
+        qubit_map: Dict[int, int] = {}
+        used_nodes: set[int] = set()
+
+        def backtrack(position: int) -> bool:
+            """Returns True when the match limit has been reached."""
+            if max_matches is not None and len(matches) >= max_matches:
+                return True
+            if position == len(pattern):
+                match = self._finalize(pattern, assignment, dict(qubit_map))
+                if match is not None:
+                    matches.append(match)
+                return max_matches is not None and len(matches) >= max_matches
+            pattern_inst = pattern.instructions[position]
+            for node_id in self._nodes_by_gate.get(pattern_inst.gate.name, ()):
+                if node_id in used_nodes:
+                    continue
+                node_inst = self.dag.nodes[node_id]
+                new_mappings = self._qubit_constraints(pattern_inst, node_inst, qubit_map)
+                if new_mappings is None:
+                    continue
+                if not self._wire_order_ok(
+                    pattern, position, node_id, assignment, qubit_map, new_mappings
+                ):
+                    continue
+                for pattern_qubit, circuit_qubit in new_mappings.items():
+                    qubit_map[pattern_qubit] = circuit_qubit
+                assignment.append(node_id)
+                used_nodes.add(node_id)
+                stop = backtrack(position + 1)
+                used_nodes.remove(node_id)
+                assignment.pop()
+                for pattern_qubit in new_mappings:
+                    del qubit_map[pattern_qubit]
+                if stop:
+                    return True
+            return False
+
+        backtrack(0)
+        return matches
+
+    def _qubit_constraints(
+        self,
+        pattern_inst: Instruction,
+        node_inst: Instruction,
+        qubit_map: Dict[int, int],
+    ) -> Optional[Dict[int, int]]:
+        """Check operand compatibility; return the new qubit bindings or None."""
+        new_mappings: Dict[int, int] = {}
+        mapped_targets = set(qubit_map.values())
+        for pattern_qubit, circuit_qubit in zip(pattern_inst.qubits, node_inst.qubits):
+            if pattern_qubit in qubit_map:
+                if qubit_map[pattern_qubit] != circuit_qubit:
+                    return None
+            elif pattern_qubit in new_mappings:
+                if new_mappings[pattern_qubit] != circuit_qubit:
+                    return None
+            else:
+                if circuit_qubit in mapped_targets or circuit_qubit in new_mappings.values():
+                    return None
+                new_mappings[pattern_qubit] = circuit_qubit
+        return new_mappings
+
+    def _wire_order_ok(
+        self,
+        pattern: Circuit,
+        position: int,
+        node_id: int,
+        assignment: Sequence[int],
+        qubit_map: Dict[int, int],
+        new_mappings: Dict[int, int],
+    ) -> bool:
+        """Matched gates must appear on every shared wire in pattern order."""
+        combined = dict(qubit_map)
+        combined.update(new_mappings)
+        pattern_inst = pattern.instructions[position]
+        for pattern_qubit in pattern_inst.qubits:
+            circuit_qubit = combined[pattern_qubit]
+            node_position = self._wire_position.get((node_id, circuit_qubit))
+            if node_position is None:
+                return False
+            # Find the most recent earlier pattern instruction on this qubit.
+            for earlier in range(position - 1, -1, -1):
+                if pattern_qubit in pattern.instructions[earlier].qubits:
+                    earlier_node = assignment[earlier]
+                    earlier_position = self._wire_position.get(
+                        (earlier_node, circuit_qubit)
+                    )
+                    if earlier_position is None or earlier_position >= node_position:
+                        return False
+                    break
+        return True
+
+    def _finalize(
+        self,
+        pattern: Circuit,
+        assignment: Sequence[int],
+        qubit_map: Dict[int, int],
+    ) -> Optional[Match]:
+        node_ids = tuple(assignment)
+        if not self.dag.is_convex(node_ids):
+            return None
+        param_assignment = self._solve_params(pattern, node_ids)
+        if param_assignment is None:
+            return None
+        return Match(node_ids, qubit_map, param_assignment)
+
+    # -- parameter unification -------------------------------------------------
+
+    def _solve_params(
+        self, pattern: Circuit, node_ids: Sequence[int]
+    ) -> Optional[Dict[int, Angle]]:
+        """Solve the linear system "pattern angle = matched concrete angle"."""
+        equations: List[Tuple[Dict[int, Fraction], Angle]] = []
+        for pattern_inst, node_id in zip(pattern.instructions, node_ids):
+            node_inst = self.dag.nodes[node_id]
+            for pattern_angle, concrete_angle in zip(
+                pattern_inst.params, node_inst.params
+            ):
+                coefficients = dict(pattern_angle.coefficients)
+                rhs = concrete_angle - Angle(pattern_angle.pi_multiple)
+                equations.append((coefficients, rhs))
+
+        solution: Dict[int, Angle] = {}
+        pending = equations
+        progress = True
+        while progress:
+            progress = False
+            remaining: List[Tuple[Dict[int, Fraction], Angle]] = []
+            for coefficients, rhs in pending:
+                # Substitute already-solved parameters.
+                coefficients = dict(coefficients)
+                for index in list(coefficients):
+                    if index in solution:
+                        rhs = rhs - solution[index].scale(coefficients.pop(index))
+                unknowns = [i for i, c in coefficients.items() if c != 0]
+                if not unknowns:
+                    if not rhs.is_zero():
+                        return None
+                    continue
+                if len(unknowns) == 1:
+                    index = unknowns[0]
+                    solution[index] = rhs.scale(Fraction(1) / coefficients[index])
+                    progress = True
+                else:
+                    remaining.append((coefficients, rhs))
+            pending = remaining
+
+        # Resolve underdetermined equations by fixing all but one unknown to 0.
+        for coefficients, rhs in pending:
+            coefficients = dict(coefficients)
+            adjusted_rhs = rhs
+            for index in list(coefficients):
+                if index in solution:
+                    adjusted_rhs = adjusted_rhs - solution[index].scale(coefficients.pop(index))
+            unknowns = [i for i, c in coefficients.items() if c != 0]
+            if not unknowns:
+                if not adjusted_rhs.is_zero():
+                    return None
+                continue
+            for index in unknowns[1:]:
+                solution.setdefault(index, Angle.zero())
+                adjusted_rhs = adjusted_rhs - solution[index].scale(coefficients[index])
+            pivot = unknowns[0]
+            if pivot in solution:
+                if not (solution[pivot].scale(coefficients[pivot]) - adjusted_rhs).is_zero():
+                    return None
+            else:
+                solution[pivot] = adjusted_rhs.scale(Fraction(1) / coefficients[pivot])
+        return solution
+
+    # -- application -------------------------------------------------------------
+
+    def apply(self, transformation: Transformation, match: Match) -> Optional[Circuit]:
+        """Instantiate the transformation at ``match`` and splice it in."""
+        target = transformation.target
+        qubit_map = dict(match.qubit_map)
+
+        # The target may touch pattern qubits the source never mentions; map
+        # them to circuit qubits that are not already claimed by the match.
+        unmapped = sorted(target.used_qubits() - set(qubit_map))
+        if unmapped:
+            available = [
+                q for q in range(self.circuit.num_qubits) if q not in qubit_map.values()
+            ]
+            if len(available) < len(unmapped):
+                return None
+            for pattern_qubit, circuit_qubit in zip(unmapped, available):
+                qubit_map[pattern_qubit] = circuit_qubit
+
+        # Likewise, parameters used only by the target default to zero.
+        assignment = dict(match.param_assignment)
+        for index in target.used_params():
+            assignment.setdefault(index, Angle.zero())
+
+        instantiated = target.substitute_params(assignment)
+        replacement = [
+            inst.remap_qubits(qubit_map) for inst in instantiated.instructions
+        ]
+        return self.dag.splice(match.node_ids, replacement)
+
+    def apply_all(
+        self,
+        transformation: Transformation,
+        max_matches: Optional[int] = None,
+    ) -> List[Circuit]:
+        """All distinct circuits obtainable by applying ``transformation``."""
+        results: List[Circuit] = []
+        seen_keys: set = set()
+        for match in self.find_matches(transformation.source, max_matches=max_matches):
+            new_circuit = self.apply(transformation, match)
+            if new_circuit is None:
+                continue
+            key = new_circuit.canonical_key()
+            if key in seen_keys:
+                continue
+            seen_keys.add(key)
+            results.append(new_circuit)
+        return results

@@ -1,0 +1,76 @@
+"""Circuit transformations extracted from an ECC set (Section 6).
+
+The optimizer converts each ECC with circuits ``C_1 ... C_x`` (``C_1`` the
+representative) into the 2(x-1) transformations ``C_1 -> C_i`` and
+``C_i -> C_1``; these suffice to reach any member of the class from any
+other.  Transformations whose source is the empty circuit are dropped — they
+cannot be matched against anything and only ever increase cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.generator.ecc import ECCSet
+from repro.ir.circuit import Circuit
+
+
+@dataclass(frozen=True)
+class Transformation:
+    """A rewrite rule: replace a match of ``source`` by ``target``.
+
+    Both circuits are symbolic (their angles may mention pattern parameters)
+    and are expressed over the same local qubits; the matcher translates
+    them to the qubits of the circuit being optimized.
+    """
+
+    source: Circuit
+    target: Circuit
+    name: str = ""
+
+    @property
+    def gate_delta(self) -> int:
+        """Change in gate count when the transformation is applied."""
+        return len(self.target) - len(self.source)
+
+    def __repr__(self) -> str:
+        return (
+            f"Transformation({self.name or 'unnamed'}: "
+            f"{len(self.source)} gates -> {len(self.target)} gates)"
+        )
+
+
+def transformations_from_ecc_set(
+    ecc_set: ECCSet, include_cost_increasing: bool = True
+) -> List[Transformation]:
+    """Expand an ECC set into explicit transformations.
+
+    Args:
+        ecc_set: the (pruned) ECC set produced by the generator.
+        include_cost_increasing: when False, transformations whose target has
+            more gates than their source are omitted (useful for the greedy
+            baseline; the backtracking search wants them for gamma > 1).
+    """
+    transformations: List[Transformation] = []
+    for ecc_index, ecc in enumerate(ecc_set):
+        representative = ecc.representative
+        for other_index, other in enumerate(ecc.others()):
+            pairs = [
+                (other, representative),  # usually cost-decreasing
+                (representative, other),  # usually cost-increasing
+            ]
+            for source, target in pairs:
+                if len(source) == 0:
+                    continue
+                if not include_cost_increasing and len(target) > len(source):
+                    continue
+                transformations.append(
+                    Transformation(
+                        source=source,
+                        target=target,
+                        name=f"ecc{ecc_index}.{other_index}"
+                        + (".fwd" if source is other else ".bwd"),
+                    )
+                )
+    return transformations

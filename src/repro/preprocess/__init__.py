@@ -1,0 +1,30 @@
+"""Preprocessing passes applied before the superoptimizer (Section 7.1).
+
+The paper preprocesses input circuits with two passes adopted from Nam et
+al. — Toffoli decomposition (with a greedy polarity choice) and rotation
+merging — and transpiles between gate sets (Clifford+T input circuits, and
+the Nam / IBM / Rigetti output sets).  The Rigetti pipeline additionally
+rewrites CNOT into H·CZ·H and cancels the adjacent H/CZ pairs this creates
+before converting the remaining H and X gates to Rx/Rz sequences.
+"""
+
+from repro.preprocess.rotation_merging import merge_rotations
+from repro.preprocess.toffoli import decompose_toffolis
+from repro.preprocess.transpile import (
+    clifford_t_to_nam,
+    nam_to_ibm,
+    nam_to_rigetti,
+    cancel_adjacent_inverses,
+)
+from repro.preprocess.pipeline import preprocess, QuartzPreprocessor
+
+__all__ = [
+    "merge_rotations",
+    "decompose_toffolis",
+    "clifford_t_to_nam",
+    "nam_to_ibm",
+    "nam_to_rigetti",
+    "cancel_adjacent_inverses",
+    "preprocess",
+    "QuartzPreprocessor",
+]

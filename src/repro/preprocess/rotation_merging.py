@@ -1,0 +1,151 @@
+"""Rotation merging over {CNOT, X, Rz} regions (Nam et al., Section 7.1).
+
+Within a region of a circuit that uses only CNOT, X and Rz gates, the value
+carried by each wire is an affine function (over GF(2)) of the variables the
+region started with: CNOT xors two wire functions, X complements one, and an
+Rz contributes a phase that depends only on that affine function.  Two Rz
+rotations applied to the same affine function therefore merge into a single
+rotation *no matter how far apart they are* — which is why the paper
+implements this as a dedicated pass rather than relying on local
+transformations.
+
+The pass tracks, per qubit, the pair (xor-set of region variables,
+complement bit).  Any gate outside {cx, x, rz-like} ends the tracked region
+on the qubits it touches: the qubit receives a fresh variable, and — to stay
+on the sound side — every pending rotation whose function mentions a
+variable of the interrupted wire stops accepting merges, so rotations are
+never merged across a Hadamard that touches their function.  A rotation on
+the complemented function ``1 + f`` folds into a rotation on ``f`` with the
+opposite angle (the difference is a global phase).  Rotations whose merged
+angle is a multiple of 2*pi are removed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.ir.circuit import Circuit, Instruction
+from repro.ir.params import Angle
+
+# A tracked wire function: (xor-set of region variables, complement bit).
+WireVars = FrozenSet[int]
+
+_FIXED_ROTATION_ANGLES = {
+    "t": Angle.pi(Fraction(1, 4)),
+    "tdg": Angle.pi(Fraction(-1, 4)),
+    "s": Angle.pi(Fraction(1, 2)),
+    "sdg": Angle.pi(Fraction(-1, 2)),
+    "z": Angle.pi(1),
+}
+
+
+def rotation_angle(inst: Instruction) -> Optional[Angle]:
+    """The Rz-equivalent angle of an instruction, or None if not a rotation."""
+    if inst.gate.name in ("rz", "u1"):
+        return inst.params[0]
+    return _FIXED_ROTATION_ANGLES.get(inst.gate.name)
+
+
+@dataclass
+class _Rotation:
+    """A rotation emitted to the output whose angle may still grow by merging.
+
+    ``angle`` accumulates the rotation on the *uncomplemented* wire function
+    f; ``emit_complemented`` records whether the wire carried ``not f`` at the
+    position where the gate is emitted, in which case the physical gate angle
+    is the negation of the accumulated one (the difference is a global phase).
+    """
+
+    output_index: int
+    qubit: int
+    angle: Angle
+    emit_complemented: bool
+
+
+def merge_rotations(circuit: Circuit) -> Circuit:
+    """Merge Rz-like rotations acting on the same affine wire function.
+
+    All merged rotations are expressed as ``rz`` gates (the pass runs on the
+    way into the Nam gate set); other gates pass through unchanged.  The
+    result is equivalent to the input up to a global phase.
+    """
+    # Output slots: either a pass-through instruction, a rotation index, or None.
+    output: List[Tuple[str, object]] = []
+    rotations: List[_Rotation] = []
+
+    next_variable = circuit.num_qubits
+    wire_vars: Dict[int, WireVars] = {
+        q: frozenset([q]) for q in range(circuit.num_qubits)
+    }
+    wire_complement: Dict[int, bool] = {q: False for q in range(circuit.num_qubits)}
+    # Wire function -> index into ``rotations`` accepting merges for it.
+    pending: Dict[WireVars, int] = {}
+
+    for inst in circuit.instructions:
+        name = inst.gate.name
+        angle = rotation_angle(inst)
+        if angle is not None and inst.gate.num_qubits == 1:
+            qubit = inst.qubits[0]
+            variables = wire_vars[qubit]
+            effective = -angle if wire_complement[qubit] else angle
+            rotation_index = pending.get(variables)
+            if rotation_index is not None:
+                rotations[rotation_index].angle = (
+                    rotations[rotation_index].angle + effective
+                )
+                output.append(("drop", None))
+            else:
+                rotation = _Rotation(
+                    output_index=len(output),
+                    qubit=qubit,
+                    angle=effective,
+                    emit_complemented=wire_complement[qubit],
+                )
+                rotations.append(rotation)
+                pending[variables] = len(rotations) - 1
+                output.append(("rotation", len(rotations) - 1))
+        elif name == "cx":
+            control, target = inst.qubits
+            wire_vars[target] = wire_vars[control] ^ wire_vars[target]
+            wire_complement[target] = (
+                wire_complement[control] ^ wire_complement[target]
+            )
+            output.append(("inst", inst))
+        elif name == "x":
+            qubit = inst.qubits[0]
+            wire_complement[qubit] = not wire_complement[qubit]
+            output.append(("inst", inst))
+        else:
+            # Region boundary on the touched qubits: fresh variables, and stop
+            # merging into rotations whose function mentions the interrupted
+            # wires' variables (no merging across this gate).
+            for qubit in inst.qubits:
+                interrupted = wire_vars[qubit]
+                stale = [key for key in pending if key & interrupted]
+                for key in stale:
+                    del pending[key]
+                wire_vars[qubit] = frozenset([next_variable])
+                wire_complement[qubit] = False
+                next_variable += 1
+            output.append(("inst", inst))
+
+    result = Circuit(circuit.num_qubits, num_params=circuit.num_params)
+    for kind, payload in output:
+        if kind == "drop":
+            continue
+        if kind == "inst":
+            inst = payload  # type: ignore[assignment]
+            result.append(inst.gate, inst.qubits, inst.params)
+            continue
+        rotation = rotations[payload]  # type: ignore[index]
+        angle = rotation.angle
+        if angle.is_constant():
+            angle = angle.normalized_2pi()
+            if angle.pi_multiple % 2 == 0:
+                continue
+        if rotation.emit_complemented:
+            angle = -angle
+        result.append("rz", (rotation.qubit,), [angle])
+    return result

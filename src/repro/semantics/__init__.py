@@ -1,0 +1,15 @@
+"""Numeric circuit semantics: simulation, fingerprints, phase-factor search."""
+
+from repro.semantics.simulator import circuit_unitary, apply_circuit, random_state
+from repro.semantics.fingerprint import FingerprintContext, fingerprint
+from repro.semantics.phase import PhaseFactor, find_phase_candidates
+
+__all__ = [
+    "circuit_unitary",
+    "apply_circuit",
+    "random_state",
+    "FingerprintContext",
+    "fingerprint",
+    "PhaseFactor",
+    "find_phase_candidates",
+]

@@ -1,0 +1,77 @@
+"""Circuit fingerprinting (Section 3.1 and Section 7.1 of the paper).
+
+The fingerprint of a circuit C is ``| <psi0| [[C]](p0) |psi1> |`` for fixed,
+randomly chosen parameter values ``p0`` and states ``psi0``, ``psi1``.
+Equivalent circuits (equal up to a global phase) have the same fingerprint
+because the modulus cancels the phase.  With floating-point arithmetic the
+implementation buckets fingerprints with an absolute error threshold
+``E_max``: the hash key is ``floor(fingerprint / (2 * E_max))``, and the
+generator additionally compares adjacent buckets (h and h+1) — both exactly
+as described in Section 7.1.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.ir.circuit import Circuit
+from repro.semantics.simulator import apply_circuit, random_state
+
+DEFAULT_E_MAX = 1e-10
+
+
+class FingerprintContext:
+    """Fixed random inputs shared by all fingerprint computations of a run."""
+
+    def __init__(
+        self,
+        num_qubits: int,
+        num_params: int,
+        seed: int = 20220433,
+        e_max: float = DEFAULT_E_MAX,
+    ) -> None:
+        self.num_qubits = num_qubits
+        self.num_params = num_params
+        self.e_max = e_max
+        rng = np.random.default_rng(seed)
+        self.param_values: list[float] = list(
+            rng.uniform(-math.pi, math.pi, size=max(num_params, 1))
+        )
+        self.psi0 = random_state(num_qubits, rng)
+        self.psi1 = random_state(num_qubits, rng)
+
+    def amplitude(self, circuit: Circuit) -> complex:
+        """Return ``<psi0| [[C]](p0) |psi1>`` (without the modulus)."""
+        if circuit.num_qubits != self.num_qubits:
+            raise ValueError(
+                f"context is for {self.num_qubits} qubits, circuit has {circuit.num_qubits}"
+            )
+        evolved = apply_circuit(circuit, self.psi1, self.param_values)
+        return complex(np.vdot(self.psi0, evolved))
+
+    def fingerprint(self, circuit: Circuit) -> float:
+        """The real-valued fingerprint (modulus of the amplitude)."""
+        return abs(self.amplitude(circuit))
+
+    def hash_key(self, circuit: Circuit) -> int:
+        """The integer bucket used as the hash-table key for this circuit."""
+        return int(math.floor(self.fingerprint(circuit) / (2.0 * self.e_max)))
+
+    def keys_to_probe(self, circuit: Circuit) -> Sequence[int]:
+        """Hash keys whose buckets may hold circuits equivalent to this one.
+
+        Under the E_max assumption, an equivalent circuit's key differs by at
+        most 1, so the generator probes the key itself and both neighbours.
+        """
+        key = self.hash_key(circuit)
+        return (key - 1, key, key + 1)
+
+
+def fingerprint(circuit: Circuit, context: FingerprintContext | None = None) -> float:
+    """Convenience wrapper returning a circuit's fingerprint value."""
+    if context is None:
+        context = FingerprintContext(circuit.num_qubits, max(circuit.used_params(), default=-1) + 1)
+    return context.fingerprint(circuit)

@@ -1,0 +1,181 @@
+"""Numeric circuit semantics via dense unitary / statevector simulation.
+
+The semantics of a circuit over ``q`` qubits is a ``2^q x 2^q`` unitary
+obtained from the gate matrices by matrix multiplication and tensor products
+(Section 2 of the paper).  This module evaluates that semantics numerically
+for a given assignment of the symbolic parameters; it is used by the
+fingerprinting machinery, by the phase-factor candidate search, and by tests
+that cross-check the exact symbolic semantics.
+
+Qubit-ordering convention: qubit 0 is the *most significant* bit of the
+computational-basis index, matching the tensor-product order
+``U_{q0} (x) U_{q1} (x) ...`` used throughout the paper's examples.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.ir.circuit import Circuit, Instruction
+
+
+def instruction_unitary(inst: Instruction, param_values: Sequence[float] | Mapping[int, float] = ()) -> np.ndarray:
+    """Return the gate matrix of one instruction with parameters evaluated."""
+    angles = [angle.to_float(param_values) for angle in inst.params]
+    return inst.gate.numeric(angles)
+
+
+def expand_to_qubits(matrix: np.ndarray, qubits: Sequence[int], num_qubits: int) -> np.ndarray:
+    """Embed a gate matrix acting on ``qubits`` into the full Hilbert space.
+
+    ``matrix`` is a ``2^d x 2^d`` unitary whose d qubit operands are, in
+    order, ``qubits``; the result is the ``2^n x 2^n`` unitary acting as the
+    gate on those qubits and as identity elsewhere.
+    """
+    num_targets = len(qubits)
+    if matrix.shape != (1 << num_targets, 1 << num_targets):
+        raise ValueError("matrix shape does not match number of target qubits")
+    dim = 1 << num_qubits
+    full = np.zeros((dim, dim), dtype=complex)
+    other_qubits = [q for q in range(num_qubits) if q not in qubits]
+    num_other = len(other_qubits)
+
+    # Iterate over basis states of the non-target qubits; for each, place the
+    # gate matrix block on the subspace spanned by the target qubits.
+    for other_bits in range(1 << num_other):
+        base_index = 0
+        for position, qubit in enumerate(other_qubits):
+            if (other_bits >> (num_other - 1 - position)) & 1:
+                base_index |= 1 << (num_qubits - 1 - qubit)
+        for row_bits in range(1 << num_targets):
+            row_index = base_index
+            for position, qubit in enumerate(qubits):
+                if (row_bits >> (num_targets - 1 - position)) & 1:
+                    row_index |= 1 << (num_qubits - 1 - qubit)
+            for col_bits in range(1 << num_targets):
+                value = matrix[row_bits, col_bits]
+                if value == 0:
+                    continue
+                col_index = base_index
+                for position, qubit in enumerate(qubits):
+                    if (col_bits >> (num_targets - 1 - position)) & 1:
+                        col_index |= 1 << (num_qubits - 1 - qubit)
+                full[row_index, col_index] = value
+    return full
+
+
+def circuit_unitary(
+    circuit: Circuit, param_values: Sequence[float] | Mapping[int, float] = ()
+) -> np.ndarray:
+    """Return the full unitary matrix of a circuit (small circuits only).
+
+    Gates are applied to all columns of the identity at once by reshaping the
+    accumulated unitary into a rank-(q+1) tensor, which keeps the work inside
+    vectorized numpy instead of the per-entry embedding of
+    :func:`expand_to_qubits`.
+    """
+    num_qubits = circuit.num_qubits
+    dim = 1 << num_qubits
+    unitary = np.eye(dim, dtype=complex)
+    for inst in circuit.instructions:
+        gate_matrix = instruction_unitary(inst, param_values)
+        qubits = inst.qubits
+        tensor = unitary.reshape([2] * num_qubits + [dim])
+        tensor = np.moveaxis(tensor, list(qubits), range(len(qubits)))
+        moved_shape = tensor.shape
+        tensor = tensor.reshape(1 << len(qubits), -1)
+        tensor = gate_matrix @ tensor
+        tensor = tensor.reshape(moved_shape)
+        tensor = np.moveaxis(tensor, range(len(qubits)), list(qubits))
+        unitary = tensor.reshape(dim, dim)
+    return unitary
+
+
+def apply_circuit(
+    circuit: Circuit,
+    state: np.ndarray,
+    param_values: Sequence[float] | Mapping[int, float] = (),
+) -> np.ndarray:
+    """Apply a circuit to a statevector without forming the full unitary.
+
+    This is the path the fingerprinting machinery uses: it is linear in the
+    number of gates and in the state dimension rather than quadratic, which
+    matters when RepGen fingerprints hundreds of thousands of circuits.
+    """
+    num_qubits = circuit.num_qubits
+    if state.shape != (1 << num_qubits,):
+        raise ValueError("state dimension does not match circuit qubit count")
+    current = np.array(state, dtype=complex)
+    for inst in circuit.instructions:
+        gate_matrix = instruction_unitary(inst, param_values)
+        current = _apply_gate_to_state(current, gate_matrix, inst.qubits, num_qubits)
+    return current
+
+
+def _apply_gate_to_state(
+    state: np.ndarray, matrix: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Apply a small gate matrix to selected qubits of a statevector."""
+    tensor = state.reshape([2] * num_qubits)
+    axes = list(qubits)
+    # Move the target axes to the front, apply the matrix, move them back.
+    tensor = np.moveaxis(tensor, axes, range(len(axes)))
+    front_shape = tensor.shape
+    tensor = tensor.reshape(1 << len(axes), -1)
+    tensor = matrix @ tensor
+    tensor = tensor.reshape(front_shape)
+    tensor = np.moveaxis(tensor, range(len(axes)), axes)
+    return tensor.reshape(-1)
+
+
+def random_state(num_qubits: int, rng: np.random.Generator) -> np.ndarray:
+    """Return a Haar-ish random normalized statevector."""
+    dim = 1 << num_qubits
+    vector = rng.normal(size=dim) + 1j * rng.normal(size=dim)
+    return vector / np.linalg.norm(vector)
+
+
+def unitaries_equal_up_to_phase(
+    left: np.ndarray, right: np.ndarray, tol: float = 1e-8
+) -> bool:
+    """Numerically check ``left = e^{i beta} right`` for some real beta."""
+    if left.shape != right.shape:
+        return False
+    # Find the entry of right with the largest magnitude to fix the phase.
+    index = np.unravel_index(np.argmax(np.abs(right)), right.shape)
+    if abs(right[index]) < tol:
+        return np.allclose(left, right, atol=tol)
+    phase = left[index] / right[index]
+    if abs(abs(phase) - 1.0) > tol:
+        return False
+    return np.allclose(left, phase * right, atol=tol)
+
+
+def circuits_equivalent_numeric(
+    circuit_a: Circuit,
+    circuit_b: Circuit,
+    num_trials: int = 2,
+    seed: int = 7,
+    tol: float = 1e-8,
+) -> bool:
+    """Numerically test equivalence up to a global phase on random parameters.
+
+    This is *not* a proof (that is the verifier's job); it is used as a fast
+    screen and inside tests as an independent cross-check of the symbolic
+    verdicts.
+    """
+    if circuit_a.num_qubits != circuit_b.num_qubits:
+        return False
+    rng = np.random.default_rng(seed)
+    num_params = max(
+        [p + 1 for p in circuit_a.used_params() | circuit_b.used_params()] or [0]
+    )
+    for _ in range(num_trials):
+        params = list(rng.uniform(-np.pi, np.pi, size=num_params))
+        left = circuit_unitary(circuit_a, params)
+        right = circuit_unitary(circuit_b, params)
+        if not unitaries_equal_up_to_phase(left, right, tol=tol):
+            return False
+    return True

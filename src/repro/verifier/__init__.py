@@ -1,0 +1,21 @@
+"""Circuit equivalence verification (Section 4 of the paper).
+
+The verifier checks that two symbolic circuits are equivalent up to a global
+phase for *all* parameter values.  Following the paper it (i) eliminates the
+existential quantifier over the phase by searching a finite candidate space
+numerically, and (ii) eliminates trigonometric functions by half-angle
+substitution, the angle-addition formulas, and the Pythagorean constraint.
+Where the paper then calls Z3 on a quantifier-free nonlinear-real-arithmetic
+formula, this reproduction compares exact polynomial normal forms — see
+DESIGN.md for why this decides the same verification conditions.
+"""
+
+from repro.verifier.trig import AtomTrigBuilder, SymbolicContext
+from repro.verifier.equivalence import EquivalenceVerifier, VerificationResult
+
+__all__ = [
+    "AtomTrigBuilder",
+    "SymbolicContext",
+    "EquivalenceVerifier",
+    "VerificationResult",
+]

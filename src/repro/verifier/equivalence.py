@@ -1,0 +1,196 @@
+"""The circuit equivalence verifier.
+
+Given two symbolic circuits over the same number of qubits and parameters,
+:class:`EquivalenceVerifier` decides whether they are equivalent up to a
+global phase (Definition 1 of the paper):
+
+1. **Numeric screen & phase search.**  Both circuits are evaluated on fixed
+   random parameter values and states; if they disagree the pair is rejected
+   immediately.  Otherwise the finite space of candidate phase factors
+   ``beta(p) = a.p + b`` is searched numerically (Section 4).
+2. **Symbolic proof.**  For each surviving candidate, the verifier builds the
+   exact symbolic unitaries of both circuits over sin/cos atoms (half-angle
+   substitution + angle addition + Pythagorean normal form) and checks the
+   matrix identity ``[[C1]] = e^{i beta(p)} [[C2]]`` by comparing polynomial
+   normal forms — the step that replaces the Z3 query of the paper.
+
+The verifier records how many checks it performed and how much time it spent,
+which the generator-metrics experiments (Table 5 / Table 8) report.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.circuit import Circuit
+from repro.semantics.fingerprint import FingerprintContext
+from repro.semantics.phase import PhaseFactor, find_phase_candidates
+from repro.semantics.simulator import circuits_equivalent_numeric
+from repro.verifier.trig import (
+    AtomTrigBuilder,
+    SymbolicContext,
+    UnrepresentableAngleError,
+    symbolic_circuit_matrix,
+)
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of one equivalence check."""
+
+    equivalent: bool
+    phase: Optional[PhaseFactor] = None
+    method: str = "symbolic"
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.equivalent
+
+
+@dataclass
+class VerifierStats:
+    """Counters the experiments report (Table 5 / Table 8)."""
+
+    checks: int = 0
+    symbolic_proofs: int = 0
+    numeric_rejections: int = 0
+    numeric_fallbacks: int = 0
+    time_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "checks": self.checks,
+            "symbolic_proofs": self.symbolic_proofs,
+            "numeric_rejections": self.numeric_rejections,
+            "numeric_fallbacks": self.numeric_fallbacks,
+            "time_seconds": self.time_seconds,
+        }
+
+
+class EquivalenceVerifier:
+    """Checks circuit equivalence up to a global phase.
+
+    Args:
+        num_params: number of symbolic parameters m shared by the circuits.
+        search_linear_phase: when True the phase search also tries
+            parameter-dependent phases ``a != 0`` (the paper's general
+            mechanism); constant phases suffice for the evaluated gate sets
+            and are much cheaper, so the default is False.
+        allow_numeric_fallback: when the exact symbolic construction fails
+            because a concrete angle lies outside the exact fragment (e.g.
+            ``rz(pi/8)`` on a concrete circuit), fall back to a randomized
+            numeric check instead of raising.
+    """
+
+    def __init__(
+        self,
+        num_params: int,
+        *,
+        search_linear_phase: bool = False,
+        allow_numeric_fallback: bool = True,
+        seed: int = 20220433,
+    ) -> None:
+        self.num_params = num_params
+        self.search_linear_phase = search_linear_phase
+        self.allow_numeric_fallback = allow_numeric_fallback
+        self.seed = seed
+        self.stats = VerifierStats()
+        self._fingerprint_contexts: Dict[int, FingerprintContext] = {}
+        self._matrix_cache: Dict[Tuple, object] = {}
+
+    # -- public API -----------------------------------------------------------
+
+    def verify(self, circuit_a: Circuit, circuit_b: Circuit) -> VerificationResult:
+        """Decide whether the two circuits are equivalent up to a global phase."""
+        start = time.perf_counter()
+        self.stats.checks += 1
+        try:
+            return self._verify_inner(circuit_a, circuit_b)
+        finally:
+            self.stats.time_seconds += time.perf_counter() - start
+
+    def equivalent(self, circuit_a: Circuit, circuit_b: Circuit) -> bool:
+        return self.verify(circuit_a, circuit_b).equivalent
+
+    # -- implementation ---------------------------------------------------------
+
+    def _verify_inner(self, circuit_a: Circuit, circuit_b: Circuit) -> VerificationResult:
+        if circuit_a.num_qubits != circuit_b.num_qubits:
+            return VerificationResult(False, reason="different qubit counts")
+
+        context = self._fingerprint_context(circuit_a.num_qubits)
+        candidates = find_phase_candidates(
+            circuit_a,
+            circuit_b,
+            context,
+            search_linear=self.search_linear_phase,
+        )
+        if not candidates:
+            self.stats.numeric_rejections += 1
+            return VerificationResult(
+                False, reason="no phase factor matches on random inputs"
+            )
+
+        try:
+            symbolic_context = SymbolicContext.for_circuits(
+                (circuit_a, circuit_b),
+                self.num_params,
+                extra_angles=[c.as_angle() for c in candidates],
+            )
+            builder = AtomTrigBuilder(symbolic_context)
+            matrix_a = self._symbolic_matrix(circuit_a, builder, symbolic_context)
+            matrix_b = self._symbolic_matrix(circuit_b, builder, symbolic_context)
+        except UnrepresentableAngleError as error:
+            if not self.allow_numeric_fallback:
+                raise
+            return self._numeric_fallback(circuit_a, circuit_b, candidates, str(error))
+
+        for candidate in candidates:
+            phase_poly = builder.exp_i(candidate.as_angle())
+            if matrix_b.scalar_mul(phase_poly) == matrix_a:
+                self.stats.symbolic_proofs += 1
+                return VerificationResult(True, phase=candidate, method="symbolic")
+
+        return VerificationResult(
+            False,
+            reason="no candidate phase factor verified symbolically",
+        )
+
+    def _numeric_fallback(
+        self,
+        circuit_a: Circuit,
+        circuit_b: Circuit,
+        candidates: List[PhaseFactor],
+        reason: str,
+    ) -> VerificationResult:
+        self.stats.numeric_fallbacks += 1
+        if circuits_equivalent_numeric(circuit_a, circuit_b, num_trials=4, seed=self.seed):
+            phase = candidates[0] if candidates else None
+            return VerificationResult(
+                True,
+                phase=phase,
+                method="numeric",
+                reason=f"numeric fallback ({reason})",
+            )
+        return VerificationResult(False, method="numeric", reason=reason)
+
+    def _fingerprint_context(self, num_qubits: int) -> FingerprintContext:
+        if num_qubits not in self._fingerprint_contexts:
+            self._fingerprint_contexts[num_qubits] = FingerprintContext(
+                num_qubits, self.num_params, seed=self.seed
+            )
+        return self._fingerprint_contexts[num_qubits]
+
+    def _symbolic_matrix(self, circuit: Circuit, builder: AtomTrigBuilder, context: SymbolicContext):
+        key = (
+            circuit.num_qubits,
+            circuit.sequence_key(),
+            tuple(context.denominators),
+        )
+        cached = self._matrix_cache.get(key)
+        if cached is None:
+            cached = symbolic_circuit_matrix(circuit, builder)
+            self._matrix_cache[key] = cached
+        return cached

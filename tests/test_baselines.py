@@ -1,0 +1,98 @@
+"""Tests for the rule-based baseline optimizers."""
+
+import pytest
+
+from repro.baselines import BASELINES, run_baseline
+from repro.baselines.rules import (
+    cancel_with_commutation,
+    merge_adjacent_rotations,
+    merge_u1_into_neighbours,
+)
+from repro.ir import Circuit
+from repro.ir.params import Angle
+from repro.preprocess import clifford_t_to_nam, decompose_toffolis
+from repro.preprocess.transpile import nam_to_ibm
+from repro.semantics.simulator import circuits_equivalent_numeric
+from fractions import Fraction
+
+
+def nam_test_circuit():
+    high_level = Circuit(3).ccx(0, 1, 2).t(0).tdg(0).h(1).h(1).cx(0, 2).cx(0, 2)
+    return clifford_t_to_nam(decompose_toffolis(high_level, greedy=False))
+
+
+class TestPasses:
+    def test_merge_adjacent_rotations(self):
+        circuit = Circuit(1).t(0).t(0).h(0).t(0)
+        merged = merge_adjacent_rotations(circuit)
+        assert merged.gate_count == 3
+        assert circuits_equivalent_numeric(circuit, merged)
+
+    def test_merge_adjacent_rotations_drops_zero(self):
+        circuit = Circuit(1).t(0).tdg(0)
+        assert merge_adjacent_rotations(circuit).gate_count == 0
+
+    def test_cancel_with_commutation_through_cnot_control(self):
+        # Rz on the control commutes through the CNOT, so T ... Tdg cancels.
+        circuit = Circuit(2).t(0).cx(0, 1).tdg(0)
+        reduced = cancel_with_commutation(circuit)
+        assert reduced.gate_count == 1
+        assert circuits_equivalent_numeric(circuit, reduced)
+
+    def test_cancel_with_commutation_blocked_on_target(self):
+        circuit = Circuit(2).t(1).cx(0, 1).tdg(1)
+        reduced = cancel_with_commutation(circuit)
+        assert reduced.gate_count == 3
+
+    def test_cancel_cnot_pair_through_shared_control(self):
+        circuit = Circuit(3).cx(0, 1).cx(0, 2).cx(0, 1)
+        reduced = cancel_with_commutation(circuit)
+        assert reduced.gate_count == 1
+        assert circuits_equivalent_numeric(circuit, reduced)
+
+    def test_merge_u1_into_u3(self):
+        circuit = (
+            Circuit(1)
+            .u1(0, Angle.pi(Fraction(1, 4)))
+            .u3(0, Angle.pi(Fraction(1, 2)), Angle.zero(), Angle.pi(1))
+        )
+        merged = merge_u1_into_neighbours(circuit)
+        assert merged.gate_count == 1
+        assert circuits_equivalent_numeric(circuit, merged)
+
+    def test_merge_u1_chain(self):
+        circuit = (
+            Circuit(1)
+            .u1(0, Angle.pi(Fraction(1, 4)))
+            .u1(0, Angle.pi(Fraction(1, 4)))
+            .u1(0, Angle.pi(Fraction(1, 2)))
+        )
+        merged = merge_u1_into_neighbours(circuit)
+        assert merged.gate_count == 1
+
+
+class TestBaselineOptimizers:
+    @pytest.mark.parametrize("name", sorted(BASELINES))
+    def test_baselines_preserve_semantics_and_never_increase_count(self, name):
+        circuit = nam_test_circuit()
+        optimized = run_baseline(name, circuit, "nam")
+        assert optimized.gate_count <= circuit.gate_count
+        assert circuits_equivalent_numeric(circuit, optimized)
+
+    def test_baselines_ordering_qiskit_weakest(self):
+        circuit = nam_test_circuit()
+        qiskit = run_baseline("qiskit", circuit, "nam").gate_count
+        voqc = run_baseline("voqc", circuit, "nam").gate_count
+        nam = run_baseline("nam", circuit, "nam").gate_count
+        assert voqc <= qiskit
+        assert nam <= voqc
+
+    def test_ibm_baseline_uses_u1_fusion(self):
+        circuit = nam_to_ibm(nam_test_circuit())
+        optimized = run_baseline("qiskit", circuit, "ibm")
+        assert optimized.gate_count <= circuit.gate_count
+        assert circuits_equivalent_numeric(circuit, optimized)
+
+    def test_unknown_baseline_rejected(self):
+        with pytest.raises(KeyError):
+            run_baseline("pytket2", Circuit(1), "nam")

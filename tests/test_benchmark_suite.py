@@ -1,0 +1,168 @@
+"""Tests for the 26-circuit benchmark suite."""
+
+import pytest
+
+from repro.benchmarks_suite import (
+    BENCHMARK_BUILDERS,
+    MEDIUM_BENCHMARKS,
+    SMALL_BENCHMARKS,
+    benchmark_circuit,
+    benchmark_names,
+)
+from repro.benchmarks_suite.arithmetic import cuccaro_adder, vbe_adder
+from repro.benchmarks_suite.gf2 import gf2_mult
+from repro.benchmarks_suite.toffoli_family import barenco_tof_n, tof_n
+from repro.ir.gatesets import CLIFFORD_T
+from repro.semantics.simulator import circuit_unitary
+import numpy as np
+
+
+class TestSuiteStructure:
+    def test_all_26_benchmarks_present(self):
+        assert len(benchmark_names()) == 26
+
+    def test_paper_names_are_present(self):
+        for name in ("adder_8", "gf2^10_mult", "qcla_mod_7", "mod5_4", "tof_10"):
+            assert name in BENCHMARK_BUILDERS
+
+    def test_small_and_medium_subsets_are_valid(self):
+        assert set(SMALL_BENCHMARKS) <= set(benchmark_names())
+        assert set(MEDIUM_BENCHMARKS) <= set(benchmark_names())
+        assert set(SMALL_BENCHMARKS) <= set(MEDIUM_BENCHMARKS)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            benchmark_circuit("qft_8")
+
+    @pytest.mark.parametrize("name", sorted(BENCHMARK_BUILDERS))
+    def test_every_benchmark_builds_in_clifford_t(self, name):
+        circuit = benchmark_circuit(name)
+        assert circuit.gate_count > 0
+        assert circuit.num_qubits > 0
+        allowed = set(CLIFFORD_T.gate_names()) | {"cx", "ccx", "ccz", "x"}
+        assert all(inst.gate.name in allowed for inst in circuit.instructions)
+
+    def test_builders_are_deterministic(self):
+        assert benchmark_circuit("tof_5") == benchmark_circuit("tof_5")
+
+
+class TestToffoliFamily:
+    def test_tof_n_gate_counts_match_formula(self):
+        # 2n-3 Toffolis, matching the original 15(2n-3) Clifford+T counts.
+        for n in (3, 4, 5, 10):
+            assert benchmark_circuit(f"tof_{n}").count_gate("ccx") == 2 * n - 3
+
+    def test_tof_2_is_single_toffoli(self):
+        assert tof_n(2).gate_count == 1
+
+    def test_tof_n_computes_the_and_of_controls(self):
+        # For n = 3: |111> on the controls flips the target.
+        circuit = tof_n(3)
+        unitary = circuit_unitary(circuit)
+        num_qubits = circuit.num_qubits
+        # Input: controls all 1, ancilla 0, target 0.
+        in_index = sum(1 << (num_qubits - 1 - q) for q in range(3))
+        out_state = unitary @ np.eye(1 << num_qubits)[in_index]
+        expected_index = in_index | 1  # target is the last qubit
+        assert np.isclose(abs(out_state[expected_index]), 1.0)
+
+    def test_tof_n_identity_when_a_control_is_zero(self):
+        circuit = tof_n(3)
+        unitary = circuit_unitary(circuit)
+        num_qubits = circuit.num_qubits
+        in_index = 1 << (num_qubits - 1)  # only the first control set
+        out_state = unitary @ np.eye(1 << num_qubits)[in_index]
+        assert np.isclose(abs(out_state[in_index]), 1.0)
+
+    def test_barenco_restores_ancillas(self):
+        # Dirty ancillas must return to their initial value: the circuit on
+        # |c=111, a=1, t=0> must flip only the target.
+        circuit = barenco_tof_n(3)
+        unitary = circuit_unitary(circuit)
+        num_qubits = circuit.num_qubits
+        in_index = (
+            sum(1 << (num_qubits - 1 - q) for q in range(3))  # controls
+            | (1 << (num_qubits - 1 - 3))  # dirty ancilla set to 1
+        )
+        out_state = unitary @ np.eye(1 << num_qubits)[in_index]
+        assert np.isclose(abs(out_state[in_index | 1]), 1.0)
+
+    def test_invalid_control_counts(self):
+        with pytest.raises(ValueError):
+            tof_n(1)
+        with pytest.raises(ValueError):
+            barenco_tof_n(0)
+
+
+class TestAdders:
+    def _check_adder(self, circuit, a_bits, b_bits, layout):
+        """Simulate on a computational basis state and check a + b."""
+        unitary = circuit_unitary(circuit)
+        num_qubits = circuit.num_qubits
+        index = 0
+        for qubit, value in layout(a_bits, b_bits).items():
+            if value:
+                index |= 1 << (num_qubits - 1 - qubit)
+        out_state = unitary @ np.eye(1 << num_qubits)[index]
+        out_index = int(np.argmax(np.abs(out_state)))
+        assert np.isclose(abs(out_state[out_index]), 1.0)
+        return out_index
+
+    def test_vbe_adder_adds_one_bit(self):
+        circuit = vbe_adder(1)
+        # Layout per bit: carry, a, b; final qubit is carry-out.
+        unitary = circuit_unitary(circuit)
+        # a=1, b=1 -> b stays (1+1) mod 2 = 0, carry-out 1.
+        index = (1 << (circuit.num_qubits - 1 - 1)) | (1 << (circuit.num_qubits - 1 - 2))
+        out = unitary @ np.eye(1 << circuit.num_qubits)[index]
+        out_index = int(np.argmax(np.abs(out)))
+        bits = format(out_index, f"0{circuit.num_qubits}b")
+        assert bits[1] == "1"  # a unchanged
+        assert bits[2] == "0"  # sum bit
+        assert bits[3] == "1"  # carry out
+        assert np.isclose(abs(out[out_index]), 1.0)
+
+    def test_cuccaro_adder_is_permutation(self):
+        unitary = circuit_unitary(cuccaro_adder(2))
+        assert np.allclose(np.abs(unitary) ** 2 @ np.ones(unitary.shape[0]), 1.0)
+
+    def test_cuccaro_adds_two_plus_one(self):
+        circuit = cuccaro_adder(2)
+        # Layout: carry-in 0, then (b0, a0), (b1, a1), carry-out.
+        # a = 01b (a0=1), b = 10b (b1=1) -> b becomes a+b = 11b.
+        num_qubits = circuit.num_qubits
+        index = (1 << (num_qubits - 1 - 2)) | (1 << (num_qubits - 1 - 3))
+        unitary = circuit_unitary(circuit)
+        out = unitary @ np.eye(1 << num_qubits)[index]
+        out_index = int(np.argmax(np.abs(out)))
+        bits = format(out_index, f"0{num_qubits}b")
+        assert bits[1] == "1" and bits[3] == "1"  # b now 11
+        assert bits[2] == "1"  # a unchanged (a0)
+
+    def test_invalid_bit_counts(self):
+        with pytest.raises(ValueError):
+            vbe_adder(0)
+        with pytest.raises(ValueError):
+            cuccaro_adder(0)
+
+
+class TestGF2:
+    def test_gf2_multiplier_toffoli_count_is_at_least_n_squared(self):
+        for n in (4, 5):
+            assert gf2_mult(n).count_gate("ccx") >= n * n
+
+    def test_gf2_unsupported_size(self):
+        with pytest.raises(ValueError):
+            gf2_mult(11)
+
+    def test_gf2_2_multiplication_table(self):
+        """Check a*b over GF(4) with polynomial x^2 + x + 1 for a basis case."""
+        circuit = gf2_mult(2)
+        unitary = circuit_unitary(circuit)
+        num_qubits = circuit.num_qubits
+        # a = x (bits a1=1), b = x: a*b = x^2 = x + 1 -> c = 11b.
+        index = (1 << (num_qubits - 1 - 1)) | (1 << (num_qubits - 1 - 3))
+        out = unitary @ np.eye(1 << num_qubits)[index]
+        out_index = int(np.argmax(np.abs(out)))
+        bits = format(out_index, f"0{num_qubits}b")
+        assert bits[4] == "1" and bits[5] == "1"

@@ -1,0 +1,120 @@
+"""Tests for gate definitions: unitarity and numeric/symbolic agreement."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ir.gates import GATE_REGISTRY, get_gate, inverse_gate
+from repro.ir.params import Angle
+from repro.verifier.trig import AtomTrigBuilder, SymbolicContext
+
+ALL_GATES = sorted(GATE_REGISTRY)
+PARAM_VALUES = [0.7, -1.3, 2.1]
+
+
+def random_angles(gate, rng):
+    return [Angle.param(i) for i in range(gate.num_params)]
+
+
+class TestRegistry:
+    def test_lookup_by_alias(self):
+        assert get_gate("CNOT").name == "cx"
+        assert get_gate("toffoli").name == "ccx"
+        assert get_gate("p").name == "u1"
+
+    def test_unknown_gate(self):
+        with pytest.raises(KeyError):
+            get_gate("frobnicate")
+
+    def test_inverse_pairs(self):
+        assert inverse_gate(get_gate("t")).name == "tdg"
+        assert inverse_gate(get_gate("s")).name == "sdg"
+        assert inverse_gate(get_gate("h")).name == "h"
+        assert inverse_gate(get_gate("rz")) is None
+
+    def test_wrong_param_count_raises(self):
+        with pytest.raises(ValueError):
+            get_gate("rz").numeric([])
+        with pytest.raises(ValueError):
+            get_gate("h").numeric([1.0])
+
+    def test_gate_equality_and_hash(self):
+        assert get_gate("h") == get_gate("h")
+        assert hash(get_gate("h")) == hash(get_gate("h"))
+        assert get_gate("h") != get_gate("x")
+
+
+class TestNumericMatrices:
+    @pytest.mark.parametrize("name", ALL_GATES)
+    def test_unitarity(self, name):
+        gate = GATE_REGISTRY[name]
+        params = PARAM_VALUES[: gate.num_params]
+        matrix = gate.numeric(params)
+        dim = 1 << gate.num_qubits
+        assert matrix.shape == (dim, dim)
+        assert np.allclose(matrix @ matrix.conj().T, np.eye(dim), atol=1e-10)
+
+    def test_cx_action(self):
+        cx = get_gate("cx").numeric()
+        state = np.zeros(4)
+        state[2] = 1.0  # |10>: control set
+        assert np.allclose(cx @ state, np.eye(4)[3])
+
+    def test_rz_diagonal(self):
+        rz = get_gate("rz").numeric([0.5])
+        assert rz[0, 1] == 0 and rz[1, 0] == 0
+
+    def test_u2_special_case_is_hadamard(self):
+        u2 = get_gate("u2").numeric([0.0, math.pi])
+        h = get_gate("h").numeric()
+        assert np.allclose(u2, h, atol=1e-10)
+
+    def test_u3_special_case_is_x_up_to_phase(self):
+        u3 = get_gate("u3").numeric([math.pi, 0.0, math.pi])
+        x = get_gate("x").numeric()
+        ratio = u3[np.abs(x) > 0.5] / x[np.abs(x) > 0.5]
+        assert np.allclose(ratio, ratio[0], atol=1e-10)
+        assert np.isclose(abs(ratio[0]), 1.0)
+
+    def test_rx90_matches_rx(self):
+        assert np.allclose(
+            get_gate("rx90").numeric(), get_gate("rx").numeric([math.pi / 2])
+        )
+        assert np.allclose(
+            get_gate("rx90dg").numeric(), get_gate("rx").numeric([-math.pi / 2])
+        )
+
+    def test_ccx_is_permutation(self):
+        ccx = get_gate("ccx").numeric()
+        assert np.allclose(np.abs(ccx).sum(axis=0), np.ones(8))
+        assert np.allclose(ccx[6, 7], 1) and np.allclose(ccx[7, 6], 1)
+
+
+class TestSymbolicMatrices:
+    @pytest.mark.parametrize("name", ALL_GATES)
+    def test_symbolic_matches_numeric_on_random_parameters(self, name):
+        """The symbolic matrix evaluated at concrete parameters must equal
+        the numeric matrix — the core soundness link between the verifier's
+        algebra and the simulator."""
+        gate = GATE_REGISTRY[name]
+        num_params = gate.num_params
+        context = SymbolicContext(num_params, [2] * num_params)
+        builder = AtomTrigBuilder(context)
+        angles = [Angle.param(i) for i in range(num_params)]
+        symbolic = gate.symbolic(builder, angles)
+
+        values = PARAM_VALUES[:num_params]
+        numeric = gate.numeric(values)
+        atom_values = {i: values[i] / 2 for i in range(num_params)}
+        dim = 1 << gate.num_qubits
+        for row in range(dim):
+            for col in range(dim):
+                evaluated = symbolic[row, col].evaluate(atom_values)
+                assert evaluated == pytest.approx(numeric[row, col], abs=1e-9)
+
+    def test_symbolic_wrong_arity_raises(self):
+        context = SymbolicContext(0, [])
+        builder = AtomTrigBuilder(context)
+        with pytest.raises(ValueError):
+            get_gate("rz").symbolic(builder, [])

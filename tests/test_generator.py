@@ -1,0 +1,178 @@
+"""Tests for ECC data structures, RepGen, pruning and brute-force counting."""
+
+import pytest
+
+from repro.generator import (
+    ECC,
+    ECCSet,
+    RepGen,
+    characteristic,
+    count_possible_circuits,
+    prune_common_subcircuits,
+    simplify_ecc_set,
+)
+from repro.ir import Circuit
+from repro.ir.gatesets import IBM, NAM, RIGETTI
+from repro.ir.params import Angle, ParamSpec
+from repro.semantics.simulator import circuits_equivalent_numeric
+
+
+class TestECC:
+    def test_representative_is_precedence_minimal(self):
+        big = Circuit(1).h(0).h(0)
+        small = Circuit(1).x(0)
+        ecc = ECC([big, small])
+        assert ecc.representative == small
+        assert ecc.others() == [big]
+
+    def test_duplicate_sequences_are_not_added_twice(self):
+        ecc = ECC()
+        assert ecc.add(Circuit(1).h(0))
+        assert not ecc.add(Circuit(1).h(0))
+        assert len(ecc) == 1
+
+    def test_num_transformations(self):
+        ecc = ECC([Circuit(1), Circuit(1).h(0).h(0), Circuit(1).z(0).z(0)])
+        assert ecc.num_transformations() == 6
+
+    def test_empty_ecc_has_no_representative(self):
+        with pytest.raises(ValueError):
+            ECC().representative
+
+    def test_contains(self):
+        ecc = ECC([Circuit(1).h(0)])
+        assert Circuit(1).h(0) in ecc
+        assert Circuit(1).x(0) not in ecc
+
+
+class TestECCSet:
+    def test_counts(self):
+        ecc_set = ECCSet(
+            [ECC([Circuit(1), Circuit(1).h(0).h(0)]), ECC([Circuit(1).x(0)])],
+            num_qubits=1,
+        )
+        assert ecc_set.num_circuits() == 3
+        assert ecc_set.num_transformations() == 2
+        assert len(ecc_set.non_singleton()) == 1
+
+    def test_json_roundtrip(self, nam_ecc_q2_n2):
+        text = nam_ecc_q2_n2.to_json()
+        restored = ECCSet.from_json(text)
+        assert restored.num_circuits() == nam_ecc_q2_n2.num_circuits()
+        assert restored.num_transformations() == nam_ecc_q2_n2.num_transformations()
+
+
+class TestRepGen:
+    def test_characteristic_matches_paper_for_nam_q3(self):
+        assert RepGen(NAM, num_qubits=3).characteristic() == 27
+
+    def test_characteristic_matches_paper_for_rigetti_q3(self):
+        assert RepGen(RIGETTI, num_qubits=3).characteristic() == 30
+
+    def test_characteristic_helper_agrees(self):
+        assert characteristic(NAM, 3) == RepGen(NAM, num_qubits=3).characteristic()
+        assert characteristic(IBM, 3) == RepGen(IBM, num_qubits=3).characteristic()
+
+    def test_generated_classes_contain_only_equivalent_circuits(self, nam_ecc_q2_n2):
+        for ecc in nam_ecc_q2_n2:
+            representative = ecc.representative
+            for other in ecc.others():
+                assert circuits_equivalent_numeric(representative, other)
+
+    def test_known_identities_are_discovered(self, nam_ecc_q2_n3):
+        """The (3, 2) Nam ECC set must contain H·H = I and the Rz merge."""
+        reps = {tuple(i.gate.name for i in ecc.representative.instructions): ecc for ecc in nam_ecc_q2_n3}
+        # H H should be in the class of the empty circuit.
+        empty_classes = [ecc for ecc in nam_ecc_q2_n3 if len(ecc.representative) == 0]
+        assert empty_classes, "the empty-circuit class must be present"
+        empty_members = {
+            tuple(inst.gate.name for inst in circuit.instructions)
+            for circuit in empty_classes[0]
+        }
+        assert ("h", "h") in empty_members
+        assert ("cx", "cx") in empty_members
+        # An Rz-merging class must exist (rz rz ~ rz).
+        assert any(
+            len(ecc.representative) == 1
+            and ecc.representative[0].gate.name == "rz"
+            and any(len(c) == 2 for c in ecc)
+            for ecc in nam_ecc_q2_n3
+        )
+
+    def test_stats_populated(self):
+        generator = RepGen(NAM, num_qubits=1, num_params=2)
+        result = generator.generate(2)
+        assert result.stats.circuits_considered > 0
+        assert result.stats.num_representatives > 0
+        assert result.stats.total_time > 0
+        assert result.stats.verification_time >= 0
+        assert len(result.stats.rounds) == 2
+        assert result.num_transformations == result.ecc_set.num_transformations()
+
+    def test_monotone_growth_with_n(self):
+        small = RepGen(NAM, num_qubits=2).generate(1).ecc_set.num_transformations()
+        large = RepGen(NAM, num_qubits=2).generate(2).ecc_set.num_transformations()
+        assert large >= small
+
+
+class TestPruning:
+    def test_simplification_removes_unused_qubits(self, nam_ecc_q2_n2):
+        simplified = simplify_ecc_set(nam_ecc_q2_n2)
+        for ecc in simplified:
+            used = set()
+            for circuit in ecc:
+                used |= circuit.used_qubits()
+            # After simplification, used qubits are exactly 0..k-1.
+            assert used == set(range(len(used)))
+
+    def test_simplification_reduces_or_preserves_class_count(self, nam_ecc_q2_n2):
+        simplified = simplify_ecc_set(nam_ecc_q2_n2)
+        assert len(simplified) <= len(nam_ecc_q2_n2)
+
+    def test_common_subcircuit_pruning_reduces_circuits(self, nam_ecc_q2_n2):
+        simplified = simplify_ecc_set(nam_ecc_q2_n2)
+        pruned = prune_common_subcircuits(simplified)
+        assert pruned.num_circuits() <= simplified.num_circuits()
+        # No class in the pruned set shares a boundary gate with its rep.
+        for ecc in pruned:
+            assert len(ecc) >= 2
+
+    def test_pruned_classes_remain_equivalent(self, nam_ecc_q2_n3):
+        pruned = prune_common_subcircuits(simplify_ecc_set(nam_ecc_q2_n3))
+        for ecc in list(pruned)[:10]:
+            rep = ecc.representative
+            for other in ecc.others():
+                assert circuits_equivalent_numeric(rep, other)
+
+
+class TestBruteForceCounts:
+    def test_possible_circuits_matches_paper_nam_n2_q3(self):
+        # Table 6: 604 possible circuits for Nam, n=2, q=3.
+        assert count_possible_circuits(NAM, 2, 3) == 604
+
+    def test_possible_circuits_matches_paper_nam_n3_q3(self):
+        # Table 6: 11,404 possible circuits for Nam, n=3, q=3.
+        assert count_possible_circuits(NAM, 3, 3) == 11404
+
+    def test_characteristic_values_match_paper(self):
+        # Section 7.4 / Table 8: ch = 27 (Nam), 30 (Rigetti) at q=3;
+        # ch for q=1,2,4 on Nam are 7, 16, 40.
+        assert characteristic(NAM, 1) == 7
+        assert characteristic(NAM, 2) == 16
+        assert characteristic(NAM, 4) == 40
+        assert characteristic(RIGETTI, 3) == 30
+
+    def test_count_with_n1_is_characteristic_plus_empty(self):
+        assert count_possible_circuits(NAM, 1, 3) == characteristic(NAM, 3) + 1
+
+    def test_repgen_considers_fewer_than_possible(self):
+        generator = RepGen(NAM, num_qubits=2, num_params=2)
+        result = generator.generate(2)
+        assert result.stats.circuits_considered < count_possible_circuits(NAM, 2, 2)
+
+    def test_single_use_restriction_lowers_count(self):
+        unrestricted = count_possible_circuits(
+            NAM, 3, 2, param_spec=ParamSpec(2, single_use=False)
+        )
+        restricted = count_possible_circuits(NAM, 3, 2)
+        assert restricted < unrestricted

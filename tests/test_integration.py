@@ -1,0 +1,90 @@
+"""End-to-end integration tests: generate -> verify -> prune -> optimize.
+
+These tests exercise the whole Quartz pipeline exactly the way the paper's
+Figure 1 describes it, on circuits small enough to check the final result
+against the numeric simulator.
+"""
+
+import pytest
+
+from repro.generator import RepGen, prune_common_subcircuits, simplify_ecc_set
+from repro.ir import Circuit, get_gate_set
+from repro.ir.gatesets import RIGETTI
+from repro.optimizer import BacktrackingOptimizer, transformations_from_ecc_set
+from repro.preprocess import preprocess
+from repro.semantics.simulator import circuits_equivalent_numeric
+from repro.benchmarks_suite import benchmark_circuit
+
+
+class TestEndToEndNam:
+    def test_tof_3_full_pipeline(self, nam_transformations_small):
+        """Preprocess + optimize tof_3 and verify the result is equivalent
+        and at least as small as the preprocessor's output."""
+        high_level = benchmark_circuit("tof_3")
+        preprocessed = preprocess(high_level, "nam")
+        optimizer = BacktrackingOptimizer(nam_transformations_small)
+        result = optimizer.optimize(preprocessed, max_iterations=40, timeout_seconds=20)
+        assert result.final_cost <= preprocessed.gate_count
+        assert get_gate_set("nam").contains_circuit(result.circuit)
+        assert circuits_equivalent_numeric(high_level, result.circuit)
+
+    def test_figure6_style_cnot_flips_help(self, nam_transformations_small):
+        """A circuit where cost-preserving CNOT flips unlock cancellations."""
+        circuit = (
+            Circuit(3)
+            .h(1)
+            .cx(0, 1)
+            .h(1)
+            .h(1)
+            .cx(2, 1)
+            .h(1)
+        )
+        optimizer = BacktrackingOptimizer(nam_transformations_small, gamma=1.0001)
+        result = optimizer.optimize(circuit, max_iterations=200, timeout_seconds=30)
+        assert result.final_cost < result.initial_cost
+        assert circuits_equivalent_numeric(circuit, result.circuit)
+
+
+class TestEndToEndRigetti:
+    @pytest.fixture(scope="class")
+    def rigetti_transformations(self):
+        generator = RepGen(RIGETTI, num_qubits=2, num_params=2)
+        ecc_set = prune_common_subcircuits(
+            simplify_ecc_set(generator.generate(2).ecc_set)
+        )
+        return transformations_from_ecc_set(ecc_set)
+
+    def test_rigetti_pipeline(self, rigetti_transformations):
+        high_level = Circuit(3).ccx(0, 1, 2)
+        preprocessed = preprocess(high_level, "rigetti")
+        assert get_gate_set("rigetti").contains_circuit(preprocessed)
+        optimizer = BacktrackingOptimizer(rigetti_transformations)
+        result = optimizer.optimize(preprocessed, max_iterations=25, timeout_seconds=20)
+        assert result.final_cost <= preprocessed.gate_count
+        assert get_gate_set("rigetti").contains_circuit(result.circuit)
+        assert circuits_equivalent_numeric(high_level, result.circuit)
+
+
+class TestCustomGateSet:
+    def test_generation_for_a_user_defined_gate_set(self):
+        """The headline claim: Quartz works for arbitrary gate sets.  Define a
+        small custom set {H, S, CZ} and check transformations are found."""
+        from repro.ir.gatesets import GateSet
+
+        custom = GateSet("hs_cz", ["h", "s", "cz"], num_params=0)
+        generator = RepGen(custom, num_qubits=2, num_params=0)
+        result = generator.generate(2)
+        ecc_set = prune_common_subcircuits(simplify_ecc_set(result.ecc_set))
+        assert ecc_set.num_transformations() > 0
+        # H H = I must be among the discovered identities.
+        empty_classes = [e for e in ecc_set if len(e.representative) == 0]
+        assert empty_classes
+        members = {
+            tuple(i.gate.name for i in c.instructions) for c in empty_classes[0]
+        }
+        assert ("h", "h") in members
+        # And every transformation must be numerically sound.
+        for transformation in transformations_from_ecc_set(ecc_set)[:20]:
+            assert circuits_equivalent_numeric(
+                transformation.source, transformation.target
+            )

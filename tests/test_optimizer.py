@@ -1,0 +1,205 @@
+"""Tests for transformations, the pattern matcher and the backtracking search."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.ir import Circuit
+from repro.ir.params import Angle
+from repro.optimizer import (
+    BacktrackingOptimizer,
+    DepthCost,
+    GateCountCost,
+    TCountCost,
+    Transformation,
+    TwoQubitCountCost,
+    greedy_optimize,
+    transformations_from_ecc_set,
+)
+from repro.optimizer.matcher import PatternMatcher
+from repro.semantics.simulator import circuits_equivalent_numeric
+
+
+class TestCostModels:
+    def test_gate_count(self):
+        assert GateCountCost()(Circuit(2).h(0).cx(0, 1)) == 2
+
+    def test_two_qubit_count(self):
+        assert TwoQubitCountCost()(Circuit(2).h(0).cx(0, 1).cz(1, 0)) == 2
+
+    def test_t_count_counts_t_like_rotations(self):
+        circuit = (
+            Circuit(1).t(0).tdg(0).s(0).rz(0, Angle.pi(Fraction(1, 4))).rz(0, Angle.pi(1))
+        )
+        assert TCountCost()(circuit) == 3
+
+    def test_depth_cost(self):
+        assert DepthCost()(Circuit(2).h(0).h(1).cx(0, 1)) == 2
+
+
+class TestTransformations:
+    def test_extraction_counts(self, nam_ecc_q2_n2):
+        transformations = transformations_from_ecc_set(nam_ecc_q2_n2)
+        # Every non-representative circuit contributes at most two directions,
+        # minus the ones whose source would be the empty circuit.
+        assert transformations
+        assert all(len(t.source) > 0 for t in transformations)
+
+    def test_cost_increasing_can_be_excluded(self, nam_ecc_q2_n2):
+        all_xf = transformations_from_ecc_set(nam_ecc_q2_n2)
+        decreasing = transformations_from_ecc_set(
+            nam_ecc_q2_n2, include_cost_increasing=False
+        )
+        assert len(decreasing) <= len(all_xf)
+        assert all(t.gate_delta <= 0 for t in decreasing)
+
+    def test_gate_delta(self):
+        t = Transformation(Circuit(1).h(0).h(0), Circuit(1))
+        assert t.gate_delta == -2
+
+
+class TestPatternMatcher:
+    def test_simple_match_and_apply(self):
+        circuit = Circuit(2).h(0).h(0).cx(0, 1)
+        transformation = Transformation(Circuit(1).h(0).h(0), Circuit(1))
+        matcher = PatternMatcher(circuit)
+        results = matcher.apply_all(transformation)
+        assert len(results) == 1
+        assert results[0].gate_count == 1
+        assert circuits_equivalent_numeric(circuit, results[0])
+
+    def test_match_respects_wire_order(self):
+        # Pattern H X must not match a circuit containing X H.
+        circuit = Circuit(1).x(0).h(0)
+        transformation = Transformation(Circuit(1).h(0).x(0), Circuit(1).z(0))
+        assert PatternMatcher(circuit).find_matches(transformation.source) == []
+
+    def test_match_rejects_non_convex(self):
+        # H ... H with an X in between on the same wire is not a subcircuit.
+        circuit = Circuit(1).h(0).x(0).h(0)
+        matches = PatternMatcher(circuit).find_matches(Circuit(1).h(0).h(0))
+        assert matches == []
+
+    def test_match_on_different_qubits(self):
+        circuit = Circuit(3).h(2).h(2)
+        transformation = Transformation(Circuit(1).h(0).h(0), Circuit(1))
+        results = PatternMatcher(circuit).apply_all(transformation)
+        assert len(results) == 1
+        assert results[0].gate_count == 0
+
+    def test_qubit_mapping_respects_operand_roles(self):
+        # Pattern cx(0,1) must map control to control.
+        circuit = Circuit(2).cx(1, 0)
+        matches = PatternMatcher(circuit).find_matches(Circuit(2).cx(0, 1))
+        assert len(matches) == 1
+        assert matches[0].qubit_map == {0: 1, 1: 0}
+
+    def test_parameter_unification_simple(self):
+        circuit = Circuit(1).rz(0, Angle.pi(Fraction(1, 4))).rz(0, Angle.pi(Fraction(1, 2)))
+        pattern = (
+            Circuit(1, num_params=2).rz(0, Angle.param(0)).rz(0, Angle.param(1))
+        )
+        rewrite = Circuit(1, num_params=2).rz(0, Angle.param(0) + Angle.param(1))
+        transformation = Transformation(pattern, rewrite)
+        results = PatternMatcher(circuit).apply_all(transformation)
+        assert len(results) == 1
+        merged = results[0]
+        assert merged.gate_count == 1
+        assert merged[0].params[0] == Angle.pi(Fraction(3, 4))
+        assert circuits_equivalent_numeric(circuit, merged)
+
+    def test_parameter_unification_underdetermined(self):
+        # Source rz(p0+p1) matched against a concrete rz: p1 defaults to 0.
+        circuit = Circuit(1).rz(0, Angle.pi(Fraction(1, 2)))
+        pattern = Circuit(1, num_params=2).rz(0, Angle.param(0) + Angle.param(1))
+        rewrite = Circuit(1, num_params=2).rz(0, Angle.param(0)).rz(0, Angle.param(1))
+        results = PatternMatcher(circuit).apply_all(Transformation(pattern, rewrite))
+        assert results
+        assert circuits_equivalent_numeric(circuit, results[0])
+
+    def test_parameter_mismatch_rejected(self):
+        # Pattern rz(2 p0) cannot match rz(pi/4) with p0 = pi/8?  It can
+        # (p0 = pi/8), but pattern rz(p0) rz(p0) requires equal angles.
+        circuit = Circuit(1).rz(0, Angle.pi(Fraction(1, 4))).rz(0, Angle.pi(Fraction(1, 2)))
+        pattern = Circuit(1, num_params=1).rz(0, Angle.param(0)).rz(0, Angle.param(0))
+        matches = PatternMatcher(circuit).find_matches(pattern)
+        assert matches == []
+
+    def test_max_matches_limit(self):
+        circuit = Circuit(1)
+        for _ in range(6):
+            circuit.h(0)
+        matcher = PatternMatcher(circuit)
+        limited = matcher.find_matches(Circuit(1).h(0).h(0), max_matches=2)
+        assert len(limited) == 2
+
+    def test_empty_pattern_has_no_matches(self):
+        assert PatternMatcher(Circuit(1).h(0)).find_matches(Circuit(1)) == []
+
+
+class TestBacktrackingSearch:
+    def test_hadamard_cnot_example(self, nam_transformations_small):
+        """Figure 3a: H H CX H H reduces to a flipped CNOT."""
+        circuit = Circuit(2).h(0).h(1).cx(0, 1).h(0).h(1)
+        optimizer = BacktrackingOptimizer(nam_transformations_small)
+        result = optimizer.optimize(circuit, max_iterations=60)
+        assert result.final_cost == 1
+        assert circuits_equivalent_numeric(circuit, result.circuit)
+        assert result.initial_cost == 5
+        assert result.reduction == pytest.approx(0.8)
+
+    def test_greedy_never_increases_cost(self, nam_transformations_small):
+        circuit = Circuit(2).h(0).x(0).h(0).cx(0, 1).cx(0, 1)
+        result = greedy_optimize(circuit, nam_transformations_small, max_iterations=40)
+        assert result.final_cost <= result.initial_cost
+        assert circuits_equivalent_numeric(circuit, result.circuit)
+
+    def test_optimized_circuit_is_always_equivalent(self, nam_transformations_small):
+        circuit = (
+            Circuit(2)
+            .h(0)
+            .t(0)
+            .cx(0, 1)
+            .rz(1, Angle.pi(Fraction(1, 2)))
+            .cx(0, 1)
+            .h(0)
+            .x(1)
+            .x(1)
+        )
+        from repro.preprocess import clifford_t_to_nam
+
+        nam_circuit = clifford_t_to_nam(circuit)
+        optimizer = BacktrackingOptimizer(nam_transformations_small)
+        result = optimizer.optimize(nam_circuit, max_iterations=40)
+        assert circuits_equivalent_numeric(nam_circuit, result.circuit)
+        assert result.final_cost <= result.initial_cost
+
+    def test_iteration_budget_respected(self, nam_transformations_small):
+        circuit = Circuit(2).h(0).h(1).cx(0, 1).h(0).h(1)
+        optimizer = BacktrackingOptimizer(nam_transformations_small)
+        result = optimizer.optimize(circuit, max_iterations=1)
+        assert result.iterations <= 1
+
+    def test_timeout_respected(self, nam_transformations_small):
+        circuit = Circuit(2).h(0).h(1).cx(0, 1).h(0).h(1)
+        optimizer = BacktrackingOptimizer(nam_transformations_small)
+        result = optimizer.optimize(circuit, timeout_seconds=0.0)
+        assert result.timed_out or result.iterations <= 1
+
+    def test_cost_trace_is_monotone(self, nam_transformations_small):
+        circuit = Circuit(2).h(0).h(1).cx(0, 1).h(0).h(1).x(0).x(0)
+        optimizer = BacktrackingOptimizer(nam_transformations_small)
+        result = optimizer.optimize(circuit, max_iterations=60)
+        costs = [cost for _time, cost in result.cost_trace]
+        assert costs == sorted(costs, reverse=True)
+        assert costs[-1] == result.final_cost
+
+    def test_gamma_one_is_greedy(self, nam_transformations_small):
+        circuit = Circuit(2).h(0).h(1).cx(0, 1).h(0).h(1)
+        greedy = BacktrackingOptimizer(nam_transformations_small, gamma=1.0)
+        backtracking = BacktrackingOptimizer(nam_transformations_small, gamma=1.0001)
+        greedy_result = greedy.optimize(circuit, max_iterations=60)
+        backtracking_result = backtracking.optimize(circuit, max_iterations=60)
+        # The cost-preserving H-pushing moves are unavailable at gamma = 1, so
+        # greedy cannot beat the backtracking search on this circuit.
+        assert backtracking_result.final_cost <= greedy_result.final_cost

@@ -1,0 +1,124 @@
+"""Tests for exact angles and the parameter-expression specification Sigma."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.params import Angle, ParamSpec, angle_from_float
+
+
+class TestAngle:
+    def test_pi_constructor(self):
+        assert Angle.pi(Fraction(1, 2)).to_float() == pytest.approx(math.pi / 2)
+
+    def test_param_constructor(self):
+        angle = Angle.param(1, 2)
+        assert angle.to_float({1: 0.3}) == pytest.approx(0.6)
+
+    def test_is_constant_and_symbolic(self):
+        assert Angle.pi(1).is_constant()
+        assert Angle.param(0).is_symbolic()
+        assert not Angle.param(0).is_constant()
+
+    def test_zero(self):
+        assert Angle.zero().is_zero()
+        assert not Angle.pi(1).is_zero()
+
+    def test_addition_and_negation(self):
+        total = Angle.pi(Fraction(1, 4)) + Angle.param(0)
+        assert total.pi_multiple == Fraction(1, 4)
+        assert (-total).coefficients[0] == -1
+
+    def test_zero_coefficients_are_dropped(self):
+        angle = Angle.param(0) - Angle.param(0)
+        assert angle.is_constant()
+        assert not angle.coefficients
+
+    def test_scale(self):
+        assert Angle.param(0).scale(Fraction(1, 2)).coefficients[0] == Fraction(1, 2)
+        assert (2 * Angle.pi(1)).pi_multiple == 2
+
+    def test_normalized_2pi(self):
+        assert Angle.pi(Fraction(9, 4)).normalized_2pi().pi_multiple == Fraction(1, 4)
+        assert Angle.pi(-2).normalized_2pi().pi_multiple == 0
+
+    def test_substitute(self):
+        expr = Angle.param(0, 2) + Angle.pi(Fraction(1, 2))
+        result = expr.substitute({0: Angle.pi(Fraction(1, 4))})
+        assert result.is_constant()
+        assert result.pi_multiple == Fraction(1)
+
+    def test_substitute_partial(self):
+        expr = Angle.param(0) + Angle.param(1)
+        result = expr.substitute({0: Angle.pi(1)})
+        assert result.coefficients == {1: Fraction(1)}
+        assert result.pi_multiple == 1
+
+    def test_equality_and_hash(self):
+        assert Angle.pi(1) == Angle.pi(1)
+        assert hash(Angle.param(0)) == hash(Angle.param(0))
+        assert Angle.pi(1) != Angle.param(0)
+
+    def test_str(self):
+        assert str(Angle.zero()) == "0"
+        assert "pi" in str(Angle.pi(1))
+        assert "p0" in str(Angle.param(0))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.fractions(min_value=-4, max_value=4, max_denominator=8),
+        st.fractions(min_value=-4, max_value=4, max_denominator=8),
+        st.floats(-3, 3, allow_nan=False),
+    )
+    def test_to_float_linear(self, a, b, value):
+        angle = Angle(a, {0: b})
+        expected = float(a) * math.pi + float(b) * value
+        assert angle.to_float([value]) == pytest.approx(expected)
+
+
+class TestAngleFromFloat:
+    def test_snaps_pi_over_4(self):
+        assert angle_from_float(math.pi / 4).pi_multiple == Fraction(1, 4)
+
+    def test_snaps_negative(self):
+        assert angle_from_float(-math.pi / 2).pi_multiple == Fraction(-1, 2)
+
+    def test_rejects_irrational_fraction_of_pi(self):
+        with pytest.raises(ValueError):
+            angle_from_float(1.0)
+
+
+class TestParamSpec:
+    def test_expression_count_for_two_params(self):
+        # p0, p1, 2p0, 2p1, p0+p1 -> 5 expressions (matches the Nam setup).
+        spec = ParamSpec(2)
+        assert len(spec.expressions()) == 5
+
+    def test_expression_count_for_four_params(self):
+        # 4 + 4 + C(4,2) = 14 expressions (IBM setup).
+        spec = ParamSpec(4)
+        assert len(spec.expressions()) == 14
+
+    def test_single_use_filtering(self):
+        spec = ParamSpec(2)
+        remaining = spec.expressions_avoiding({0})
+        assert all(0 not in expr.params_used() for expr in remaining)
+        assert len(remaining) == 2  # p1 and 2 p1
+
+    def test_single_use_disabled(self):
+        spec = ParamSpec(2, single_use=False)
+        assert len(spec.expressions_avoiding({0})) == len(spec.expressions())
+
+    def test_no_double_no_sum(self):
+        spec = ParamSpec(3, allow_double=False, allow_sum=False)
+        assert len(spec.expressions()) == 3
+
+    def test_zero_params(self):
+        assert ParamSpec(0).expressions() == []
+
+    def test_negative_params_rejected(self):
+        with pytest.raises(ValueError):
+            ParamSpec(-1)

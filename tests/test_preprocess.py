@@ -1,0 +1,187 @@
+"""Tests for the preprocessing passes: correctness and effectiveness."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.ir import Circuit, get_gate_set
+from repro.ir.params import Angle
+from repro.preprocess import (
+    cancel_adjacent_inverses,
+    clifford_t_to_nam,
+    decompose_toffolis,
+    merge_rotations,
+    nam_to_ibm,
+    nam_to_rigetti,
+    preprocess,
+)
+from repro.preprocess.toffoli import ccz_decomposition, toffoli_decomposition
+from repro.semantics.simulator import circuits_equivalent_numeric
+
+
+class TestRotationMerging:
+    def test_adjacent_rotations_merge(self):
+        circuit = Circuit(1).t(0).t(0)
+        merged = merge_rotations(circuit)
+        assert merged.gate_count == 1
+        assert merged[0].params[0] == Angle.pi(Fraction(1, 2))
+        assert circuits_equivalent_numeric(circuit, merged)
+
+    def test_inverse_rotations_cancel_to_nothing(self):
+        circuit = Circuit(1).t(0).tdg(0)
+        assert merge_rotations(circuit).gate_count == 0
+
+    def test_merge_across_cnot_on_other_qubit(self):
+        circuit = Circuit(2).t(0).cx(1, 0).cx(1, 0).t(0)
+        merged = merge_rotations(circuit)
+        # The two T gates act on the same wire function and merge.
+        assert merged.count_gate("rz") == 1
+        assert circuits_equivalent_numeric(circuit, merged)
+
+    def test_merge_through_cnot_and_back(self):
+        # Rz on q1, CX(0,1), CX(0,1), Rz on q1: wire function returns, merge.
+        circuit = (
+            Circuit(2)
+            .rz(1, Angle.pi(Fraction(1, 4)))
+            .cx(0, 1)
+            .cx(0, 1)
+            .rz(1, Angle.pi(Fraction(1, 4)))
+        )
+        merged = merge_rotations(circuit)
+        assert merged.count_gate("rz") == 1
+        assert circuits_equivalent_numeric(circuit, merged)
+
+    def test_no_merge_across_hadamard(self):
+        circuit = Circuit(1).t(0).h(0).t(0)
+        merged = merge_rotations(circuit)
+        assert merged.count_gate("rz") == 2
+        assert circuits_equivalent_numeric(circuit, merged)
+
+    def test_x_conjugation_flips_rotation_sign(self):
+        # Rz(a) X Rz(b) X : the second rotation acts on the complemented
+        # function, so it merges as Rz(a - b) up to a global phase.
+        circuit = (
+            Circuit(1)
+            .rz(0, Angle.pi(Fraction(1, 4)))
+            .x(0)
+            .rz(0, Angle.pi(Fraction(1, 4)))
+            .x(0)
+        )
+        merged = merge_rotations(circuit)
+        assert merged.count_gate("rz") <= 1
+        assert circuits_equivalent_numeric(circuit, merged)
+
+    def test_semantics_preserved_on_random_circuits(self, random_circuit_factory):
+        for seed in range(8):
+            circuit = random_circuit_factory(3, 20, seed=seed)
+            merged = merge_rotations(circuit)
+            assert merged.gate_count <= circuit.gate_count
+            assert circuits_equivalent_numeric(circuit, merged), f"seed {seed}"
+
+    def test_symbolic_angles_survive(self):
+        circuit = Circuit(1, num_params=2).rz(0, Angle.param(0)).rz(0, Angle.param(1))
+        merged = merge_rotations(circuit)
+        assert merged.gate_count == 1
+        assert merged[0].params[0] == Angle.param(0) + Angle.param(1)
+
+
+class TestToffoliDecomposition:
+    @pytest.mark.parametrize("polarity", ["plus", "minus"])
+    def test_decomposition_is_correct(self, polarity):
+        direct = Circuit(3).ccx(0, 1, 2)
+        decomposed = Circuit(3)
+        decomposed.extend(toffoli_decomposition(0, 1, 2, polarity))
+        assert decomposed.gate_count == 15
+        assert circuits_equivalent_numeric(direct, decomposed)
+
+    @pytest.mark.parametrize("polarity", ["plus", "minus"])
+    def test_ccz_decomposition_is_correct(self, polarity):
+        direct = Circuit(3).ccz(0, 1, 2)
+        decomposed = Circuit(3)
+        decomposed.extend(ccz_decomposition(0, 1, 2, polarity))
+        assert circuits_equivalent_numeric(direct, decomposed)
+
+    def test_decompose_toffolis_pass(self):
+        circuit = Circuit(4).ccx(0, 1, 2).h(3).ccx(1, 2, 3)
+        decomposed = decompose_toffolis(circuit, greedy=False)
+        assert decomposed.count_gate("ccx") == 0
+        assert circuits_equivalent_numeric(circuit, decomposed)
+
+    def test_greedy_polarity_is_no_worse_after_merging(self):
+        circuit = Circuit(4).ccx(0, 1, 2).ccx(0, 1, 3).ccx(1, 2, 3)
+        naive = merge_rotations(clifford_t_to_nam(decompose_toffolis(circuit, greedy=False)))
+        greedy = merge_rotations(clifford_t_to_nam(decompose_toffolis(circuit, greedy=True)))
+        assert greedy.gate_count <= naive.gate_count
+        assert circuits_equivalent_numeric(circuit, greedy)
+
+
+class TestTranspilation:
+    def test_clifford_t_to_nam_gate_set(self):
+        circuit = Circuit(2).h(0).t(0).sdg(1).z(1).cx(0, 1).s(0).tdg(1)
+        nam = clifford_t_to_nam(circuit)
+        assert get_gate_set("nam").contains_circuit(nam)
+        assert circuits_equivalent_numeric(circuit, nam)
+
+    def test_nam_to_ibm_gate_set(self):
+        circuit = clifford_t_to_nam(Circuit(2).h(0).t(0).cx(0, 1).x(1))
+        ibm = nam_to_ibm(circuit)
+        assert get_gate_set("ibm").contains_circuit(ibm)
+        assert circuits_equivalent_numeric(circuit, ibm)
+
+    def test_nam_to_rigetti_gate_set(self):
+        circuit = clifford_t_to_nam(Circuit(2).h(0).t(0).cx(0, 1).x(1).cx(1, 0))
+        rigetti = nam_to_rigetti(circuit)
+        assert get_gate_set("rigetti").contains_circuit(rigetti)
+        assert circuits_equivalent_numeric(circuit, rigetti)
+
+    def test_rigetti_h_cz_cancellation_helps(self):
+        # Two back-to-back CNOTs: the H pairs introduced by the CZ rewrite
+        # must cancel, leaving far fewer than 2 * (3 + 2*4) gates.
+        circuit = Circuit(2).cx(0, 1).cx(0, 1)
+        rigetti = nam_to_rigetti(circuit)
+        assert rigetti.gate_count <= 8
+
+    def test_unsupported_gate_raises(self):
+        with pytest.raises(ValueError):
+            clifford_t_to_nam(Circuit(1).rx(0, Angle.pi(1)))
+
+    def test_cancel_adjacent_inverses(self):
+        circuit = Circuit(2).h(0).h(0).t(1).tdg(1).cx(0, 1).cx(0, 1)
+        assert cancel_adjacent_inverses(circuit).gate_count == 0
+
+    def test_cancel_does_not_remove_non_adjacent(self):
+        circuit = Circuit(1).h(0).x(0).h(0)
+        assert cancel_adjacent_inverses(circuit).gate_count == 3
+
+    def test_cancel_rotation_pairs(self):
+        circuit = (
+            Circuit(1)
+            .rz(0, Angle.pi(Fraction(1, 4)))
+            .rz(0, Angle.pi(Fraction(-1, 4)))
+        )
+        assert cancel_adjacent_inverses(circuit).gate_count == 0
+
+
+class TestFullPipeline:
+    @pytest.mark.parametrize("gate_set_name", ["nam", "ibm", "rigetti"])
+    def test_pipeline_targets_gate_set_and_preserves_semantics(self, gate_set_name):
+        circuit = Circuit(4).ccx(0, 1, 2).h(3).t(1).ccx(1, 2, 3).cx(0, 3)
+        processed = preprocess(circuit, gate_set_name)
+        assert get_gate_set(gate_set_name).contains_circuit(processed)
+        assert circuits_equivalent_numeric(circuit, processed)
+
+    def test_pipeline_reduces_gate_count_vs_naive(self):
+        circuit = Circuit(4).ccx(0, 1, 2).ccx(0, 1, 3).ccx(1, 2, 3)
+        naive = clifford_t_to_nam(decompose_toffolis(circuit, greedy=False))
+        processed = preprocess(circuit, "nam")
+        assert processed.gate_count < naive.gate_count
+
+    def test_pipeline_rejects_unknown_gate_set(self):
+        with pytest.raises(ValueError):
+            preprocess(Circuit(1).h(0), "ionq")
+
+    def test_ablation_knobs(self):
+        circuit = Circuit(3).ccx(0, 1, 2).ccx(0, 1, 2)
+        without_merging = preprocess(circuit, "nam", rotation_merging=False)
+        with_merging = preprocess(circuit, "nam")
+        assert with_merging.gate_count <= without_merging.gate_count

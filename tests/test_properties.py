@@ -1,0 +1,122 @@
+"""Cross-module property-based tests (hypothesis) on randomly built circuits.
+
+These are the system-level invariants every stage must preserve:
+
+* the simulator always produces unitaries;
+* canonical keys are invariant under independent-gate reordering;
+* preprocessing, baselines and the optimizer preserve semantics up to phase;
+* the verifier agrees with the numeric simulator on random circuit pairs.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import run_baseline
+from repro.ir import Circuit
+from repro.preprocess import clifford_t_to_nam, merge_rotations
+from repro.preprocess.transpile import cancel_adjacent_inverses
+from repro.semantics.simulator import circuit_unitary, circuits_equivalent_numeric
+from repro.verifier import EquivalenceVerifier
+
+SINGLE_QUBIT_GATES = ["h", "x", "z", "s", "sdg", "t", "tdg"]
+
+
+@st.composite
+def clifford_t_circuits(draw, max_qubits=3, max_gates=12):
+    num_qubits = draw(st.integers(2, max_qubits))
+    num_gates = draw(st.integers(0, max_gates))
+    circuit = Circuit(num_qubits)
+    for _ in range(num_gates):
+        if draw(st.booleans()):
+            gate = draw(st.sampled_from(SINGLE_QUBIT_GATES))
+            circuit.append(gate, draw(st.integers(0, num_qubits - 1)))
+        else:
+            control = draw(st.integers(0, num_qubits - 1))
+            target = draw(st.integers(0, num_qubits - 1))
+            if control == target:
+                target = (target + 1) % num_qubits
+            circuit.cx(control, target)
+    return circuit
+
+
+class TestSimulatorProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(clifford_t_circuits())
+    def test_circuit_unitaries_are_unitary(self, circuit):
+        unitary = circuit_unitary(circuit)
+        dim = 1 << circuit.num_qubits
+        assert np.allclose(unitary @ unitary.conj().T, np.eye(dim), atol=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(clifford_t_circuits(max_gates=8), st.randoms())
+    def test_canonical_key_invariant_under_commuting_swap(self, circuit, rng):
+        """Swapping two adjacent instructions on disjoint qubits keeps the
+        canonical key (and the unitary) unchanged."""
+        instructions = list(circuit.instructions)
+        swappable = [
+            i
+            for i in range(len(instructions) - 1)
+            if not (set(instructions[i].qubits) & set(instructions[i + 1].qubits))
+        ]
+        if not swappable:
+            return
+        index = rng.choice(swappable)
+        swapped = list(instructions)
+        swapped[index], swapped[index + 1] = swapped[index + 1], swapped[index]
+        other = Circuit(circuit.num_qubits, swapped)
+        assert other.canonical_key() == circuit.canonical_key()
+        assert np.allclose(circuit_unitary(circuit), circuit_unitary(other))
+
+
+class TestPassProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(clifford_t_circuits())
+    def test_rotation_merging_preserves_semantics(self, circuit):
+        nam = clifford_t_to_nam(circuit)
+        merged = merge_rotations(nam)
+        assert merged.gate_count <= nam.gate_count
+        assert circuits_equivalent_numeric(nam, merged)
+
+    @settings(max_examples=20, deadline=None)
+    @given(clifford_t_circuits())
+    def test_adjacent_cancellation_preserves_semantics(self, circuit):
+        reduced = cancel_adjacent_inverses(circuit)
+        assert reduced.gate_count <= circuit.gate_count
+        assert circuits_equivalent_numeric(circuit, reduced)
+
+    @settings(max_examples=10, deadline=None)
+    @given(clifford_t_circuits(max_gates=10))
+    def test_nam_baseline_preserves_semantics(self, circuit):
+        nam = clifford_t_to_nam(circuit)
+        optimized = run_baseline("nam", nam, "nam")
+        assert optimized.gate_count <= nam.gate_count
+        assert circuits_equivalent_numeric(nam, optimized)
+
+
+class TestVerifierAgreesWithSimulator:
+    @settings(max_examples=10, deadline=None)
+    @given(clifford_t_circuits(max_qubits=2, max_gates=5), clifford_t_circuits(max_qubits=2, max_gates=5))
+    def test_verifier_never_disagrees_with_numerics(self, left, right):
+        """Soundness spot-check: if the exact verifier says 'equivalent', the
+        numeric simulator must agree (on fixed random inputs)."""
+        if left.num_qubits != right.num_qubits:
+            return
+        verifier = EquivalenceVerifier(num_params=0)
+        verdict = verifier.verify(left, right)
+        if verdict.equivalent:
+            assert circuits_equivalent_numeric(left, right)
+
+    @settings(max_examples=10, deadline=None)
+    @given(clifford_t_circuits(max_qubits=2, max_gates=6))
+    def test_every_circuit_is_equivalent_to_itself_reversed_inverse(self, circuit):
+        """C followed by its dagger is the identity — the verifier must prove
+        it (all gates here have registry inverses)."""
+        inverse = Circuit(circuit.num_qubits)
+        inverse_names = {"t": "tdg", "tdg": "t", "s": "sdg", "sdg": "s"}
+        for inst in reversed(circuit.instructions):
+            name = inverse_names.get(inst.gate.name, inst.gate.name)
+            inverse.append(name, inst.qubits)
+        combined = Circuit(circuit.num_qubits, list(circuit.instructions) + list(inverse.instructions))
+        verifier = EquivalenceVerifier(num_params=0)
+        assert verifier.verify(combined, Circuit(circuit.num_qubits)).equivalent

@@ -1,0 +1,109 @@
+"""Tests for the OpenQASM reader/writer."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.ir.circuit import Circuit
+from repro.ir.params import Angle
+from repro.ir.qasm import QasmError, parse_qasm, to_qasm
+from repro.semantics.simulator import circuits_equivalent_numeric
+
+SAMPLE = """
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+h q[0];
+cx q[0], q[1];
+t q[2];
+rz(pi/4) q[1];
+rz(-3*pi/2) q[2];
+ccx q[0], q[1], q[2];
+u2(0, pi) q[0];
+"""
+
+
+class TestParsing:
+    def test_parse_sample(self):
+        circuit = parse_qasm(SAMPLE)
+        assert circuit.num_qubits == 3
+        assert circuit.gate_count == 7
+        assert circuit[0].gate.name == "h"
+        assert circuit[3].params[0] == Angle.pi(Fraction(1, 4))
+        assert circuit[4].params[0] == Angle.pi(Fraction(-3, 2))
+
+    def test_multiple_registers_are_concatenated(self):
+        text = "qreg a[2];\nqreg b[1];\ncx a[1], b[0];\n"
+        circuit = parse_qasm(text)
+        assert circuit.num_qubits == 3
+        assert circuit[0].qubits == (1, 2)
+
+    def test_float_angles_are_snapped(self):
+        circuit = parse_qasm("qreg q[1];\nrz(0.7853981633974483) q[0];\n")
+        assert circuit[0].params[0] == Angle.pi(Fraction(1, 4))
+
+    def test_unknown_register_rejected(self):
+        with pytest.raises(QasmError):
+            parse_qasm("qreg q[1];\nh r[0];\n")
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(QasmError):
+            parse_qasm("qreg q[1];\nh q[3];\n")
+
+    def test_bad_line_rejected(self):
+        with pytest.raises(QasmError):
+            parse_qasm("qreg q[1];\nthis is not qasm\n")
+
+    def test_alias_gate_names(self):
+        circuit = parse_qasm("qreg q[2];\nCX q[0], q[1];\n")
+        assert circuit[0].gate.name == "cx"
+
+
+class TestRoundtrip:
+    def test_roundtrip_preserves_circuit(self):
+        circuit = (
+            Circuit(3)
+            .h(0)
+            .cx(0, 1)
+            .rz(1, Angle.pi(Fraction(1, 4)))
+            .ccx(0, 1, 2)
+            .x(2)
+            .tdg(1)
+        )
+        parsed = parse_qasm(to_qasm(circuit))
+        assert parsed.gate_count == circuit.gate_count
+        assert circuits_equivalent_numeric(circuit, parsed)
+
+    def test_angle_serialization_forms(self):
+        circuit = (
+            Circuit(1)
+            .rz(0, Angle.pi(1))
+            .rz(0, Angle.pi(-1))
+            .rz(0, Angle.pi(Fraction(3, 4)))
+            .rz(0, Angle.pi(Fraction(-1, 2)))
+            .rz(0, Angle.zero())
+            .rz(0, Angle.pi(2))
+        )
+        text = to_qasm(circuit)
+        assert "rz(pi)" in text
+        assert "rz(-pi)" in text
+        assert "rz(3*pi/4)" in text
+        assert "rz(-pi/2)" in text
+        assert "rz(0)" in text
+        assert "rz(2*pi)" in text
+        reparsed = parse_qasm(text)
+        assert reparsed.gate_count == circuit.gate_count
+
+    def test_symbolic_angles_cannot_be_serialized(self):
+        circuit = Circuit(1, num_params=1).rz(0, Angle.param(0))
+        with pytest.raises(QasmError):
+            to_qasm(circuit)
+
+    def test_write_and_read_file(self, tmp_path):
+        from repro.ir.qasm import read_qasm, write_qasm
+
+        circuit = Circuit(2).h(0).cx(0, 1)
+        path = tmp_path / "circuit.qasm"
+        write_qasm(circuit, str(path))
+        assert read_qasm(str(path)) == circuit

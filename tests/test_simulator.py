@@ -1,0 +1,108 @@
+"""Tests for the numeric simulator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ir.circuit import Circuit
+from repro.ir.params import Angle
+from repro.semantics.simulator import (
+    apply_circuit,
+    circuit_unitary,
+    circuits_equivalent_numeric,
+    expand_to_qubits,
+    instruction_unitary,
+    random_state,
+    unitaries_equal_up_to_phase,
+)
+
+
+class TestCircuitUnitary:
+    def test_identity_for_empty_circuit(self):
+        assert np.allclose(circuit_unitary(Circuit(2)), np.eye(4))
+
+    def test_single_hadamard(self):
+        unitary = circuit_unitary(Circuit(1).h(0))
+        expected = np.array([[1, 1], [1, -1]]) / math.sqrt(2)
+        assert np.allclose(unitary, expected)
+
+    def test_qubit_ordering_convention(self):
+        # X on qubit 0 (most significant) maps |00> to |10> (index 2).
+        unitary = circuit_unitary(Circuit(2).x(0))
+        state = unitary @ np.eye(4)[0]
+        assert np.isclose(abs(state[2]), 1.0)
+
+    def test_cx_entangles(self):
+        circuit = Circuit(2).h(0).cx(0, 1)
+        state = circuit_unitary(circuit) @ np.eye(4)[0]
+        assert np.isclose(abs(state[0]) ** 2, 0.5, atol=1e-9)
+        assert np.isclose(abs(state[3]) ** 2, 0.5, atol=1e-9)
+
+    def test_matches_slow_embedding_path(self):
+        circuit = Circuit(3).h(0).ccx(0, 1, 2).cx(2, 0).t(1).swap(0, 2)
+        fast = circuit_unitary(circuit)
+        slow = np.eye(8, dtype=complex)
+        for inst in circuit.instructions:
+            slow = expand_to_qubits(instruction_unitary(inst), inst.qubits, 3) @ slow
+        assert np.allclose(fast, slow)
+
+    def test_unitarity_of_random_circuit(self, random_circuit_factory):
+        circuit = random_circuit_factory(3, 12, seed=5, include_ccx=True)
+        unitary = circuit_unitary(circuit)
+        assert np.allclose(unitary @ unitary.conj().T, np.eye(8), atol=1e-9)
+
+    def test_parametric_evaluation(self):
+        circuit = Circuit(1, num_params=1).rz(0, Angle.param(0))
+        unitary = circuit_unitary(circuit, [1.2])
+        expected = np.diag([np.exp(-0.6j), np.exp(0.6j)])
+        assert np.allclose(unitary, expected)
+
+
+class TestApplyCircuit:
+    def test_matches_unitary_action(self, random_circuit_factory):
+        circuit = random_circuit_factory(3, 15, seed=11, include_ccx=True)
+        rng = np.random.default_rng(3)
+        state = random_state(3, rng)
+        direct = apply_circuit(circuit, state)
+        via_unitary = circuit_unitary(circuit) @ state
+        assert np.allclose(direct, via_unitary)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            apply_circuit(Circuit(2), np.zeros(2))
+
+    def test_random_state_is_normalized(self):
+        state = random_state(4, np.random.default_rng(0))
+        assert np.isclose(np.linalg.norm(state), 1.0)
+
+
+class TestEquivalenceChecks:
+    def test_equal_up_to_phase(self):
+        unitary = circuit_unitary(Circuit(2).h(0).cx(0, 1))
+        assert unitaries_equal_up_to_phase(unitary, np.exp(0.7j) * unitary)
+        assert not unitaries_equal_up_to_phase(unitary, np.eye(4))
+
+    def test_shape_mismatch(self):
+        assert not unitaries_equal_up_to_phase(np.eye(2), np.eye(4))
+
+    def test_circuits_equivalent_numeric_positive(self):
+        a = Circuit(2).h(0).h(1).cx(0, 1).h(0).h(1)
+        b = Circuit(2).cx(1, 0)
+        assert circuits_equivalent_numeric(a, b)
+
+    def test_circuits_equivalent_numeric_negative(self):
+        assert not circuits_equivalent_numeric(Circuit(1).x(0), Circuit(1).z(0))
+
+    def test_circuits_equivalent_different_qubits(self):
+        assert not circuits_equivalent_numeric(Circuit(1), Circuit(2))
+
+    def test_parametric_equivalence(self):
+        a = Circuit(1, num_params=2).rz(0, Angle.param(0)).rz(0, Angle.param(1))
+        b = Circuit(1, num_params=2).rz(0, Angle.param(0) + Angle.param(1))
+        assert circuits_equivalent_numeric(a, b)
+
+    def test_parametric_non_equivalence(self):
+        a = Circuit(1, num_params=1).rz(0, Angle.param(0))
+        b = Circuit(1, num_params=1).rz(0, Angle.param(0, 2))
+        assert not circuits_equivalent_numeric(a, b)

@@ -1,0 +1,139 @@
+"""Tests for trig polynomials: ring laws, Pythagorean normal form, evaluation."""
+
+import cmath
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.cnumber import CNumber
+from repro.linalg.trigpoly import (
+    TrigPoly,
+    TrigVar,
+    cos_of_multiple,
+    exp_i_multiple,
+    sin_of_multiple,
+)
+
+
+def sin0():
+    return TrigPoly.sin_atom(0)
+
+
+def cos0():
+    return TrigPoly.cos_atom(0)
+
+
+class TestNormalForm:
+    def test_pythagorean_identity_is_one(self):
+        assert sin0() * sin0() + cos0() * cos0() == TrigPoly.one()
+
+    def test_sin_squared_reduces(self):
+        poly = sin0() * sin0()
+        # Normal form must not contain a squared sine.
+        for monomial in poly.terms:
+            for _var, s_exp, _c_exp in monomial:
+                assert s_exp <= 1
+
+    def test_sin_fourth_reduces(self):
+        poly = sin0() ** 4
+        expected = (TrigPoly.one() - cos0() * cos0()) ** 2
+        assert poly == expected
+
+    def test_zero_and_constant(self):
+        assert TrigPoly.zero().is_zero()
+        assert TrigPoly.constant(5).constant_value() == CNumber(5)
+        assert TrigPoly.one().is_constant()
+
+    def test_constant_value_raises_for_non_constant(self):
+        with pytest.raises(ValueError):
+            sin0().constant_value()
+
+    def test_atoms(self):
+        poly = sin0() * TrigPoly.cos_atom(3)
+        assert poly.atoms() == {0, 3}
+
+    def test_equality_independent_of_construction_order(self):
+        a = sin0() + cos0()
+        b = cos0() + sin0()
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_str_contains_variables(self):
+        assert "s0" in str(sin0())
+        assert str(TrigPoly.zero()) == "0"
+
+
+class TestRingLaws:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(-3, 3), st.integers(-3, 3), st.integers(-3, 3))
+    def test_distributivity_on_small_combinations(self, a, b, c):
+        x = TrigPoly.constant(a) + sin0().__mul__(b)
+        y = TrigPoly.constant(c) + cos0()
+        z = sin0() * cos0()
+        assert x * (y + z) == x * y + x * z
+
+    def test_multiplication_commutes(self):
+        x = sin0() + TrigPoly.cos_atom(1)
+        y = cos0() * TrigPoly.sin_atom(1) + TrigPoly.constant(2)
+        assert x * y == y * x
+
+    def test_pow_matches_repeated_multiplication(self):
+        x = sin0() + cos0()
+        assert x ** 3 == x * x * x
+
+    def test_conjugate_distributes_over_product(self):
+        x = TrigPoly.i() * sin0() + TrigPoly.constant(CNumber(1, 2))
+        y = cos0() - TrigPoly.i()
+        assert (x * y).conjugate() == x.conjugate() * y.conjugate()
+
+
+class TestMultipleAngles:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(-5, 5), st.floats(-3.0, 3.0, allow_nan=False))
+    def test_sin_of_multiple_matches_numeric(self, n, angle):
+        poly = sin_of_multiple(n, 0)
+        value = poly.evaluate({0: angle})
+        assert cmath.isclose(value, math.sin(n * angle), abs_tol=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(-5, 5), st.floats(-3.0, 3.0, allow_nan=False))
+    def test_cos_of_multiple_matches_numeric(self, n, angle):
+        poly = cos_of_multiple(n, 0)
+        value = poly.evaluate({0: angle})
+        assert cmath.isclose(value, math.cos(n * angle), abs_tol=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(-4, 4), st.floats(-3.0, 3.0, allow_nan=False))
+    def test_exp_of_multiple_matches_numeric(self, n, angle):
+        poly = exp_i_multiple(n, 0)
+        value = poly.evaluate({0: angle})
+        assert cmath.isclose(value, cmath.exp(1j * n * angle), abs_tol=1e-9)
+
+    def test_double_angle_identity(self):
+        # sin(2t) = 2 sin t cos t
+        assert sin_of_multiple(2, 0) == TrigPoly.constant(2) * sin0() * cos0()
+
+    def test_exp_multiples_add(self):
+        # e^{i 2t} * e^{i 3t} = e^{i 5t}
+        assert exp_i_multiple(2, 0) * exp_i_multiple(3, 0) == exp_i_multiple(5, 0)
+
+    def test_exp_inverse(self):
+        assert exp_i_multiple(3, 0) * exp_i_multiple(-3, 0) == TrigPoly.one()
+
+
+class TestEvaluation:
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(-3.0, 3.0, allow_nan=False), st.floats(-3.0, 3.0, allow_nan=False))
+    def test_evaluation_is_ring_homomorphism(self, a, b):
+        x = sin0() * TrigPoly.cos_atom(1) + TrigPoly.i()
+        y = TrigPoly.sin_atom(1) - cos0()
+        values = {0: a, 1: b}
+        assert cmath.isclose(
+            (x * y).evaluate(values), x.evaluate(values) * y.evaluate(values), abs_tol=1e-9
+        )
+        assert cmath.isclose(
+            (x + y).evaluate(values), x.evaluate(values) + y.evaluate(values), abs_tol=1e-9
+        )

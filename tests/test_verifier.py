@@ -1,0 +1,198 @@
+"""Tests for the symbolic equivalence verifier on known (non-)identities."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.ir.circuit import Circuit
+from repro.ir.params import Angle
+from repro.verifier import EquivalenceVerifier
+from repro.verifier.trig import AtomTrigBuilder, SymbolicContext, UnrepresentableAngleError
+
+
+@pytest.fixture(scope="module")
+def verifier0():
+    return EquivalenceVerifier(num_params=0)
+
+
+@pytest.fixture(scope="module")
+def verifier2():
+    return EquivalenceVerifier(num_params=2)
+
+
+class TestFixedGateIdentities:
+    def test_hh_is_identity(self, verifier0):
+        assert verifier0.verify(Circuit(1).h(0).h(0), Circuit(1)).equivalent
+
+    def test_ss_is_z(self, verifier0):
+        assert verifier0.verify(Circuit(1).s(0).s(0), Circuit(1).z(0)).equivalent
+
+    def test_tt_is_s(self, verifier0):
+        assert verifier0.verify(Circuit(1).t(0).t(0), Circuit(1).s(0)).equivalent
+
+    def test_hxh_is_z(self, verifier0):
+        assert verifier0.verify(
+            Circuit(1).h(0).x(0).h(0), Circuit(1).z(0)
+        ).equivalent
+
+    def test_hzh_is_x(self, verifier0):
+        assert verifier0.verify(
+            Circuit(1).h(0).z(0).h(0), Circuit(1).x(0)
+        ).equivalent
+
+    def test_cnot_flip_with_hadamards(self, verifier0):
+        flipped = Circuit(2).h(0).h(1).cx(0, 1).h(0).h(1)
+        assert verifier0.verify(flipped, Circuit(2).cx(1, 0)).equivalent
+
+    def test_cz_symmetric(self, verifier0):
+        assert verifier0.verify(Circuit(2).cz(0, 1), Circuit(2).cz(1, 0)).equivalent
+
+    def test_cz_from_cnot_and_hadamards(self, verifier0):
+        built = Circuit(2).h(1).cx(0, 1).h(1)
+        assert verifier0.verify(built, Circuit(2).cz(0, 1)).equivalent
+
+    def test_swap_from_three_cnots(self, verifier0):
+        built = Circuit(2).cx(0, 1).cx(1, 0).cx(0, 1)
+        assert verifier0.verify(built, Circuit(2).swap(0, 1)).equivalent
+
+    def test_global_phase_identity(self, verifier0):
+        # S S Z = e^{i pi} I: equivalent up to phase.
+        result = verifier0.verify(Circuit(1).s(0).s(0).z(0), Circuit(1))
+        assert result.equivalent
+        assert result.phase is not None
+
+    def test_x_is_not_z(self, verifier0):
+        assert not verifier0.verify(Circuit(1).x(0), Circuit(1).z(0)).equivalent
+
+    def test_xx_on_different_qubits_not_identity(self, verifier0):
+        assert not verifier0.verify(
+            Circuit(2).x(0).x(1), Circuit(2)
+        ).equivalent
+
+    def test_different_qubit_counts(self, verifier0):
+        assert not verifier0.verify(Circuit(1), Circuit(2)).equivalent
+
+
+class TestParametricIdentities:
+    def test_rz_merging(self, verifier2):
+        split = Circuit(1, num_params=2).rz(0, Angle.param(0)).rz(0, Angle.param(1))
+        merged = Circuit(1, num_params=2).rz(0, Angle.param(0) + Angle.param(1))
+        assert verifier2.verify(split, merged).equivalent
+
+    def test_rz_commutes_with_cnot_control(self, verifier2):
+        left = Circuit(2, num_params=1).rz(0, Angle.param(0)).cx(0, 1)
+        right = Circuit(2, num_params=1).cx(0, 1).rz(0, Angle.param(0))
+        assert verifier2.verify(left, right).equivalent
+
+    def test_rz_does_not_commute_with_cnot_target(self, verifier2):
+        left = Circuit(2, num_params=1).rz(1, Angle.param(0)).cx(0, 1)
+        right = Circuit(2, num_params=1).cx(0, 1).rz(1, Angle.param(0))
+        assert not verifier2.verify(left, right).equivalent
+
+    def test_figure_2c_rz_fusion_across_cz_and_x(self):
+        """The transformation of Figure 2c: Rz(phi) CZ X Rz(theta) ... fuses
+        into Rz(theta - phi) after commuting through X."""
+        verifier = EquivalenceVerifier(num_params=2)
+        left = (
+            Circuit(2, num_params=2)
+            .rz(1, Angle.param(0))  # Rz(phi) on q1
+            .cz(0, 1)
+            .x(1)
+            .rz(1, Angle.param(1))  # Rz(theta) on q1
+        )
+        right = (
+            Circuit(2, num_params=2)
+            .cz(0, 1)
+            .x(1)
+            .rz(1, Angle.param(1) - Angle.param(0))  # Rz(theta - phi)
+        )
+        assert verifier.verify(left, right).equivalent
+
+    def test_u1_vs_rz_requires_parameter_dependent_phase(self):
+        verifier = EquivalenceVerifier(num_params=1, search_linear_phase=True)
+        u1 = Circuit(1, num_params=1).u1(0, Angle.param(0, 2))
+        rz = Circuit(1, num_params=1).rz(0, Angle.param(0, 2))
+        result = verifier.verify(u1, rz)
+        assert result.equivalent
+        assert result.phase is not None and not result.phase.is_constant()
+
+    def test_u3_decomposition_with_parameter_dependent_phase(self):
+        # U3(2a, 2b, 2c) = e^{i(b + c)} . Rz(2b) . Ry(2a) . Rz(2c)
+        verifier = EquivalenceVerifier(num_params=3, search_linear_phase=True)
+        u3 = Circuit(1, num_params=3).u3(
+            0, Angle.param(0, 2), Angle.param(1, 2), Angle.param(2, 2)
+        )
+        decomposed = (
+            Circuit(1, num_params=3)
+            .rz(0, Angle.param(2, 2))
+            .ry(0, Angle.param(0, 2))
+            .rz(0, Angle.param(1, 2))
+        )
+        result = verifier.verify(u3, decomposed)
+        assert result.equivalent
+        assert result.phase is not None and result.phase.coefficients == (0, 1, 1)
+
+    def test_rz_double_angle_not_single(self, verifier2):
+        a = Circuit(1, num_params=2).rz(0, Angle.param(0, 2))
+        b = Circuit(1, num_params=2).rz(0, Angle.param(0))
+        assert not verifier2.verify(a, b).equivalent
+
+    def test_stats_are_recorded(self):
+        verifier = EquivalenceVerifier(num_params=0)
+        verifier.verify(Circuit(1).h(0).h(0), Circuit(1))
+        verifier.verify(Circuit(1).x(0), Circuit(1).z(0))
+        assert verifier.stats.checks == 2
+        assert verifier.stats.time_seconds > 0
+        assert verifier.stats.symbolic_proofs >= 1
+        assert verifier.stats.as_dict()["checks"] == 2
+
+
+class TestNumericFallback:
+    def test_concrete_pi_over_4_rotations_use_fallback(self):
+        # rz(pi/4) twice vs rz(pi/2): exact path needs cos(pi/8) which is not
+        # in Q[sqrt(2)], so the verifier falls back to the numeric check.
+        verifier = EquivalenceVerifier(num_params=0)
+        a = Circuit(1).rz(0, Angle.pi(Fraction(1, 4))).rz(0, Angle.pi(Fraction(1, 4)))
+        b = Circuit(1).rz(0, Angle.pi(Fraction(1, 2)))
+        result = verifier.verify(a, b)
+        assert result.equivalent
+        assert result.method == "numeric"
+
+    def test_rz_vs_t_differ_by_unrepresentable_phase(self):
+        # rz(pi/4) = e^{-i pi/8} T: the phase pi/8 is outside the candidate
+        # space {k pi/4}, so the pair is (correctly) not proven equivalent.
+        verifier = EquivalenceVerifier(num_params=0)
+        a = Circuit(1).rz(0, Angle.pi(Fraction(1, 4)))
+        b = Circuit(1).t(0)
+        assert not verifier.verify(a, b).equivalent
+
+    def test_fallback_can_be_disabled(self):
+        verifier = EquivalenceVerifier(num_params=0, allow_numeric_fallback=False)
+        a = Circuit(1).rz(0, Angle.pi(Fraction(1, 4))).rz(0, Angle.pi(Fraction(1, 4)))
+        b = Circuit(1).rz(0, Angle.pi(Fraction(1, 2)))
+        with pytest.raises(UnrepresentableAngleError):
+            verifier.verify(a, b)
+
+
+class TestSymbolicContext:
+    def test_denominator_inference(self):
+        circuit = Circuit(1, num_params=2).rz(0, Angle.param(0, Fraction(1, 2)))
+        context = SymbolicContext.for_circuits([circuit], 2)
+        assert context.denominators[0] == 4  # 1/2 coefficient, doubled for halving
+        assert context.denominators[1] == 2
+
+    def test_unrepresentable_coefficient(self):
+        context = SymbolicContext(1, [2])
+        builder = AtomTrigBuilder(context)
+        with pytest.raises(UnrepresentableAngleError):
+            builder.exp_i(Angle.param(0, Fraction(1, 3)))
+
+    def test_too_many_params_rejected(self):
+        circuit = Circuit(1, num_params=1).rz(0, Angle.param(5))
+        with pytest.raises(ValueError):
+            SymbolicContext.for_circuits([circuit], 1)
+
+    def test_atom_values(self):
+        context = SymbolicContext(2, [2, 4])
+        values = context.atom_values([1.0, 2.0])
+        assert values == {0: 0.5, 1: 0.5}
