@@ -1,0 +1,252 @@
+"""Micro-benchmarks pinning the hot-path speedups of the performance engine.
+
+Two kinds of checks live here:
+
+* **End-to-end speedups vs. the seed revision.**  The seed's wall-clock
+  times for RepGen (n=3, q=3, Nam) and a quick-scale backtracking search
+  were measured on the reference container and recorded in
+  ``SEED_BASELINES``; the tests assert the current tree beats them by the
+  required factors (>= 5x generation, >= 3x search).  On foreign hardware
+  set ``REPRO_MICROBENCH=check`` to run in check-only mode, which records
+  timings without asserting against the machine-specific baselines.
+
+* **Machine-independent component ratios.**  Incremental vs. full-replay
+  fingerprinting and vectorized vs. per-entry gate embedding are compared
+  in-process, so these assertions hold on any machine.
+
+Every run emits a machine-readable JSON file (default
+``.benchmarks/micro_hotpaths.json``, override with
+``REPRO_MICROBENCH_JSON``) so future PRs can track the perf trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.benchmarks_suite import benchmark_circuit
+from repro.generator import RepGen, prune_common_subcircuits, simplify_ecc_set
+from repro.ir.circuit import Circuit, Instruction
+from repro.ir.gatesets import NAM
+from repro.optimizer import BacktrackingOptimizer, transformations_from_ecc_set
+from repro.preprocess import preprocess
+from repro.semantics.fingerprint import FingerprintContext
+from repro.semantics.simulator import expand_to_qubits, instruction_unitary
+
+# Wall-clock seconds measured at the seed commit on the reference container
+# (see CHANGES.md for the measurement protocol).
+SEED_BASELINES = {
+    "repgen_n3_q3_seconds": 9.00,
+    "search_tof3_seconds": 1.53,
+}
+REQUIRED_REPGEN_SPEEDUP = 5.0
+REQUIRED_SEARCH_SPEEDUP = 3.0
+
+CHECK_ONLY = os.environ.get("REPRO_MICROBENCH", "").lower() in {
+    "check",
+    "check-only",
+}
+
+_RESULTS: dict = {"seed_baselines": dict(SEED_BASELINES), "check_only": CHECK_ONLY}
+
+
+def _json_path() -> Path:
+    default = Path(__file__).resolve().parent.parent / ".benchmarks" / "micro_hotpaths.json"
+    return Path(os.environ.get("REPRO_MICROBENCH_JSON", str(default)))
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_json():
+    yield
+    path = _json_path()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(_RESULTS, indent=2, sort_keys=True))
+
+
+@pytest.fixture(scope="module")
+def nam_q3_n3_generation():
+    """One timed RepGen (n=3, q=3) run shared by the generation and search
+    benchmarks (the search needs its transformations anyway)."""
+    generator = RepGen(NAM, num_qubits=3, num_params=2)
+    start = time.perf_counter()
+    result = generator.generate(3)
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+def test_repgen_speedup_vs_seed(nam_q3_n3_generation):
+    result, elapsed = nam_q3_n3_generation
+    speedup = SEED_BASELINES["repgen_n3_q3_seconds"] / elapsed
+    _RESULTS["repgen_n3_q3"] = {
+        "seconds": elapsed,
+        "speedup_vs_seed": speedup,
+        "circuits_considered": result.stats.circuits_considered,
+        "num_eccs": result.stats.num_eccs,
+        "perf": result.stats.perf,
+    }
+    # The algorithmic outputs must be unchanged from the seed revision.
+    assert result.stats.circuits_considered == 4783
+    assert result.stats.num_eccs == 562
+    assert elapsed < 60.0
+    if not CHECK_ONLY:
+        assert speedup >= REQUIRED_REPGEN_SPEEDUP, (
+            f"RepGen (n=3, q=3) took {elapsed:.2f}s — only "
+            f"{speedup:.2f}x over the seed baseline "
+            f"({SEED_BASELINES['repgen_n3_q3_seconds']:.2f}s); required "
+            f">= {REQUIRED_REPGEN_SPEEDUP}x"
+        )
+
+
+def test_search_speedup_vs_seed(nam_q3_n3_generation):
+    result, _ = nam_q3_n3_generation
+    ecc_set = prune_common_subcircuits(simplify_ecc_set(result.ecc_set))
+    transformations = transformations_from_ecc_set(ecc_set)
+    circuit = preprocess(benchmark_circuit("tof_3"), "nam")
+
+    optimizer = BacktrackingOptimizer(transformations)
+    start = time.perf_counter()
+    outcome = optimizer.optimize(circuit, max_iterations=15, timeout_seconds=60)
+    elapsed = time.perf_counter() - start
+    speedup = SEED_BASELINES["search_tof3_seconds"] / elapsed
+    _RESULTS["search_tof3"] = {
+        "seconds": elapsed,
+        "speedup_vs_seed": speedup,
+        "initial_cost": outcome.initial_cost,
+        "final_cost": outcome.final_cost,
+        "circuits_explored": outcome.circuits_explored,
+        "perf": outcome.perf,
+    }
+    assert outcome.final_cost <= outcome.initial_cost
+    assert elapsed < 60.0
+    if not CHECK_ONLY:
+        assert speedup >= REQUIRED_SEARCH_SPEEDUP, (
+            f"search took {elapsed:.2f}s — only {speedup:.2f}x over the seed "
+            f"baseline ({SEED_BASELINES['search_tof3_seconds']:.2f}s); "
+            f"required >= {REQUIRED_SEARCH_SPEEDUP}x"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Machine-independent component comparisons
+# ---------------------------------------------------------------------------
+
+
+def test_incremental_fingerprint_ratio():
+    """Incremental fingerprints must beat full replay on deep parents."""
+    num_qubits = 3
+    parent = Circuit(num_qubits)
+    for i in range(24):
+        parent.h(i % num_qubits).cx(i % num_qubits, (i + 1) % num_qubits)
+    instructions = [Instruction("t", (q,)) for q in range(num_qubits)] * 40
+
+    incremental = FingerprintContext(num_qubits, 0)
+    incremental.evolved_state(parent)  # warm the parent state
+    start = time.perf_counter()
+    for inst in instructions:
+        incremental.hash_key_appended(parent, inst)
+    incremental_seconds = time.perf_counter() - start
+
+    full = FingerprintContext(num_qubits, 0, state_cache_size=1)
+    candidates = [parent.appended(inst) for inst in instructions]
+    start = time.perf_counter()
+    for candidate in candidates:
+        full.hash_key(candidate)
+    full_seconds = time.perf_counter() - start
+
+    ratio = full_seconds / incremental_seconds
+    _RESULTS["fingerprint_incremental"] = {
+        "incremental_seconds": incremental_seconds,
+        "full_replay_seconds": full_seconds,
+        "ratio": ratio,
+    }
+    assert ratio >= 3.0, (
+        f"incremental fingerprinting only {ratio:.2f}x faster than full replay"
+    )
+
+
+def _expand_to_qubits_reference(matrix, qubits, num_qubits):
+    """The seed's per-entry embedding, kept as the comparison baseline."""
+    num_targets = len(qubits)
+    dim = 1 << num_qubits
+    full = np.zeros((dim, dim), dtype=complex)
+    other_qubits = [q for q in range(num_qubits) if q not in qubits]
+    num_other = len(other_qubits)
+    for other_bits in range(1 << num_other):
+        base_index = 0
+        for position, qubit in enumerate(other_qubits):
+            if (other_bits >> (num_other - 1 - position)) & 1:
+                base_index |= 1 << (num_qubits - 1 - qubit)
+        for row_bits in range(1 << num_targets):
+            row_index = base_index
+            for position, qubit in enumerate(qubits):
+                if (row_bits >> (num_targets - 1 - position)) & 1:
+                    row_index |= 1 << (num_qubits - 1 - qubit)
+            for col_bits in range(1 << num_targets):
+                value = matrix[row_bits, col_bits]
+                if value == 0:
+                    continue
+                col_index = base_index
+                for position, qubit in enumerate(qubits):
+                    if (col_bits >> (num_targets - 1 - position)) & 1:
+                        col_index |= 1 << (num_qubits - 1 - qubit)
+                full[row_index, col_index] = value
+    return full
+
+
+def test_vectorized_embedding_matches_and_beats_reference():
+    num_qubits = 6
+    cases = [
+        (instruction_unitary(Instruction("cx", (4, 1))), (4, 1)),
+        (instruction_unitary(Instruction("h", (3,))), (3,)),
+        (instruction_unitary(Instruction("ccx", (0, 2, 5))), (0, 2, 5)),
+    ]
+    for matrix, qubits in cases:
+        np.testing.assert_array_equal(
+            expand_to_qubits(matrix, qubits, num_qubits),
+            _expand_to_qubits_reference(matrix, qubits, num_qubits),
+        )
+
+    repeats = 20
+    start = time.perf_counter()
+    for _ in range(repeats):
+        for matrix, qubits in cases:
+            expand_to_qubits(matrix, qubits, num_qubits)
+    vectorized_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(repeats):
+        for matrix, qubits in cases:
+            _expand_to_qubits_reference(matrix, qubits, num_qubits)
+    reference_seconds = time.perf_counter() - start
+
+    ratio = reference_seconds / vectorized_seconds
+    _RESULTS["expand_to_qubits"] = {
+        "vectorized_seconds": vectorized_seconds,
+        "reference_seconds": reference_seconds,
+        "ratio": ratio,
+    }
+    assert ratio >= 2.0, (
+        f"vectorized embedding only {ratio:.2f}x faster than per-entry loop"
+    )
+
+
+def test_cached_gate_matrices_are_shared():
+    """Constant and parametric gate matrices are memoized and read-only."""
+    from fractions import Fraction
+
+    from repro.ir.params import Angle
+
+    a = instruction_unitary(Instruction("cx", (0, 1)))
+    b = instruction_unitary(Instruction("cx", (0, 1)))
+    assert a is b
+    assert not a.flags.writeable
+
+    quarter = Angle.pi(Fraction(1, 4))
+    rz1 = instruction_unitary(Instruction("rz", (0,), [quarter]))
+    rz2 = instruction_unitary(Instruction("rz", (0,), [quarter]))
+    assert rz1 is rz2

@@ -22,6 +22,7 @@ from repro.ir.circuit import Circuit, Instruction
 from repro.ir.gates import Gate
 from repro.ir.gatesets import GateSet
 from repro.ir.params import Angle, ParamSpec
+from repro.perf import PerfRecorder
 from repro.semantics.fingerprint import FingerprintContext
 from repro.verifier.equivalence import EquivalenceVerifier
 
@@ -38,6 +39,9 @@ class GeneratorStats:
     verification_time: float = 0.0
     total_time: float = 0.0
     rounds: List[Dict[str, float]] = field(default_factory=list)
+    # Hot-path instrumentation: fingerprint eval counts, state/matrix cache
+    # hit rates, verifier timings (see repro.perf).
+    perf: Dict[str, float] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -48,6 +52,7 @@ class GeneratorStats:
             "verification_calls": self.verification_calls,
             "verification_time": self.verification_time,
             "total_time": self.total_time,
+            "perf": dict(self.perf),
         }
 
 
@@ -91,8 +96,17 @@ class RepGen:
         self.num_qubits = num_qubits
         self.num_params = gate_set.num_params if num_params is None else num_params
         self.param_spec = param_spec or ParamSpec(self.num_params)
-        self.verifier = verifier or EquivalenceVerifier(self.num_params)
-        self.fingerprints = FingerprintContext(num_qubits, self.num_params, seed=seed)
+        self.perf = PerfRecorder()
+        self.verifier = verifier or EquivalenceVerifier(self.num_params, perf=self.perf)
+        self.fingerprints = FingerprintContext(
+            num_qubits, self.num_params, seed=seed, perf=self.perf
+        )
+        # Share the fingerprint context with the verifier: its numeric phase
+        # screen then reuses the evolved states the generator already cached
+        # for every candidate.  Only safe when the contexts would be
+        # interchangeable anyway (same random inputs, same parameter count).
+        if self.verifier.seed == seed and self.verifier.num_params == self.num_params:
+            self.verifier.set_fingerprint_context(self.fingerprints)
 
     # -- single-gate extensions -------------------------------------------------
 
@@ -153,15 +167,21 @@ class RepGen:
             parents = reps_by_size.get(round_index - 1, [])
             for parent in parents:
                 used_params = parent.used_params()
+                parent_seq_key = parent.sequence_key()
                 for inst in self.single_gate_instructions(used_params):
-                    candidate = parent.appended(inst)
-                    if len(candidate) > 1:
-                        suffix_key = candidate.drop_first().sequence_key()
+                    if parent_seq_key:
+                        # The candidate's first-gate-dropped suffix must be a
+                        # representative; build its key from the parent's
+                        # cached key instead of materializing the suffix.
+                        suffix_key = parent_seq_key[1:] + (inst.sort_key(),)
                         if suffix_key not in rep_keys:
+                            self.perf.count("repgen.suffix_rejects")
                             continue
                     considered_this_round += 1
                     stats.circuits_considered += 1
-                    self._insert_circuit(candidate, eccs, ecc_buckets)
+                    candidate = parent.appended(inst)
+                    key = self.fingerprints.hash_key_appended(parent, inst)
+                    self._insert_circuit(candidate, key, eccs, ecc_buckets)
 
             # Recompute representatives: the minimum of every class.
             rep_keys = set()
@@ -198,6 +218,7 @@ class RepGen:
         stats.verification_calls = self.verifier.stats.checks
         stats.verification_time = self.verifier.stats.time_seconds
         stats.total_time = time.perf_counter() - start_time
+        stats.perf = self.perf.snapshot()
         return GeneratorResult(result_set, stats, representatives)
 
     # -- helpers --------------------------------------------------------------------
@@ -205,16 +226,17 @@ class RepGen:
     def _insert_circuit(
         self,
         circuit: Circuit,
+        key: int,
         eccs: List[ECC],
         ecc_buckets: Dict[int, List[int]],
     ) -> None:
         """Place a candidate circuit into an existing ECC or a new singleton.
 
-        Only classes stored under the candidate's fingerprint bucket or the
-        two adjacent buckets can possibly be equivalent (Section 7.1), so
-        only those are checked with the verifier.
+        ``key`` is the circuit's fingerprint bucket (computed incrementally
+        by the caller).  Only classes stored under that bucket or the two
+        adjacent buckets can possibly be equivalent (Section 7.1), so only
+        those are checked with the verifier.
         """
-        key = self.fingerprints.hash_key(circuit)
         candidate_indices: List[int] = []
         for probe in (key - 1, key, key + 1):
             candidate_indices.extend(ecc_buckets.get(probe, ()))

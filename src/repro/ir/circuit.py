@@ -11,6 +11,7 @@ circuit constructors.
 
 from __future__ import annotations
 
+import heapq
 from fractions import Fraction
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -38,7 +39,7 @@ def _coerce_angle(value: AngleLike) -> Angle:
 class Instruction:
     """One gate application: a gate, its qubit operands, and its angles."""
 
-    __slots__ = ("gate", "qubits", "params")
+    __slots__ = ("gate", "qubits", "params", "_sort_key")
 
     def __init__(
         self,
@@ -49,6 +50,7 @@ class Instruction:
         self.gate = gate if isinstance(gate, Gate) else get_gate(gate)
         self.qubits: Tuple[int, ...] = tuple(int(q) for q in qubits)
         self.params: Tuple[Angle, ...] = tuple(_coerce_angle(p) for p in params)
+        self._sort_key: Optional[tuple] = None
         if len(self.qubits) != self.gate.num_qubits:
             raise ValueError(
                 f"gate {self.gate.name} acts on {self.gate.num_qubits} qubits, "
@@ -63,12 +65,19 @@ class Instruction:
             )
 
     def sort_key(self) -> tuple:
-        """A total order on instructions used by Definition 3 and hashing."""
-        return (
-            self.gate.name,
-            self.qubits,
-            tuple(p.sort_key() for p in self.params),
-        )
+        """A total order on instructions used by Definition 3 and hashing.
+
+        Instructions are immutable, so the key is computed once and cached.
+        """
+        key = self._sort_key
+        if key is None:
+            key = (
+                self.gate.name,
+                self.qubits,
+                tuple(p.sort_key() for p in self.params),
+            )
+            self._sort_key = key
+        return key
 
     def params_used(self) -> set[int]:
         used: set[int] = set()
@@ -108,7 +117,15 @@ class Instruction:
 
 
 class Circuit:
-    """A symbolic quantum circuit in sequence representation."""
+    """A symbolic quantum circuit in sequence representation.
+
+    Circuits follow a build-then-freeze discipline: the builder API
+    (``append`` and friends) may mutate the instruction list freely, but as
+    soon as a hash key is computed (``sequence_key``, ``canonical_key`` or
+    ``hash()``) the key is cached on the circuit and the circuit becomes
+    *logically immutable* — further mutation would silently corrupt every
+    hash table the circuit sits in, so it raises instead.
+    """
 
     def __init__(
         self,
@@ -121,9 +138,14 @@ class Circuit:
         self.num_qubits = num_qubits
         self.num_params = num_params
         self.instructions: List[Instruction] = []
+        self._gate_counts: Dict[str, int] = {}
+        self._sequence_key: Optional[tuple] = None
+        self._canonical_key: Optional[tuple] = None
+        self._hash: Optional[int] = None
         for inst in instructions:
             self._check_instruction(inst)
             self.instructions.append(inst)
+            self._count_gate(inst)
 
     # -- construction -------------------------------------------------------
 
@@ -134,6 +156,27 @@ class Circuit:
                     f"qubit {qubit} out of range for circuit with {self.num_qubits} qubits"
                 )
 
+    def _count_gate(self, inst: Instruction) -> None:
+        counts = self._gate_counts
+        name = inst.gate.name
+        counts[name] = counts.get(name, 0) + 1
+
+    def _assert_mutable(self) -> None:
+        if self.is_frozen:
+            raise RuntimeError(
+                "circuit has been hashed/keyed and is frozen; build a new "
+                "circuit (e.g. with appended() or copy()) instead of mutating"
+            )
+
+    @property
+    def is_frozen(self) -> bool:
+        """True once a hash key has been computed and cached."""
+        return (
+            self._sequence_key is not None
+            or self._canonical_key is not None
+            or self._hash is not None
+        )
+
     def append(
         self,
         gate: Gate | str,
@@ -141,17 +184,21 @@ class Circuit:
         params: Sequence[AngleLike] = (),
     ) -> "Circuit":
         """Append a gate application; returns ``self`` for chaining."""
+        self._assert_mutable()
         if isinstance(qubits, int):
             qubits = (qubits,)
         inst = Instruction(gate, qubits, params)
         self._check_instruction(inst)
         self.instructions.append(inst)
+        self._count_gate(inst)
         return self
 
     def extend(self, instructions: Iterable[Instruction]) -> "Circuit":
+        self._assert_mutable()
         for inst in instructions:
             self._check_instruction(inst)
             self.instructions.append(inst)
+            self._count_gate(inst)
         return self
 
     def copy(self) -> "Circuit":
@@ -232,14 +279,24 @@ class Circuit:
         return len(self.instructions)
 
     def gate_counts(self) -> Dict[str, int]:
-        """Return a histogram of gate names."""
-        counts: Dict[str, int] = {}
-        for inst in self.instructions:
-            counts[inst.gate.name] = counts.get(inst.gate.name, 0) + 1
-        return counts
+        """Return a histogram of gate names (maintained incrementally)."""
+        return dict(self._gate_counts)
+
+    def contains_gate_counts(self, required: Mapping[str, int]) -> bool:
+        """Multiset containment: does this circuit have at least ``required``?
+
+        The optimizer uses this to discard transformations whose source
+        pattern mentions gates the circuit does not contain, before paying
+        for pattern matching.
+        """
+        counts = self._gate_counts
+        for name, needed in required.items():
+            if counts.get(name, 0) < needed:
+                return False
+        return True
 
     def count_gate(self, name: str) -> int:
-        return sum(1 for inst in self.instructions if inst.gate.name == name)
+        return self._gate_counts.get(name, 0)
 
     def two_qubit_count(self) -> int:
         return sum(1 for inst in self.instructions if inst.gate.num_qubits >= 2)
@@ -280,11 +337,20 @@ class Circuit:
         new = self.copy()
         new._check_instruction(inst)
         new.instructions.append(inst)
+        new._count_gate(inst)
         return new
 
     def sequence_key(self) -> tuple:
-        """The literal sequence as a hashable key (order-sensitive)."""
-        return tuple(inst.sort_key() for inst in self.instructions)
+        """The literal sequence as a hashable key (order-sensitive).
+
+        Computed once and cached; computing it freezes the circuit (see the
+        class docstring).
+        """
+        key = self._sequence_key
+        if key is None:
+            key = tuple(inst.sort_key() for inst in self.instructions)
+            self._sequence_key = key
+        return key
 
     def precedes(self, other: "Circuit") -> bool:
         """The precedence order of Definition 3: fewer gates first, then
@@ -308,29 +374,43 @@ class Circuit:
         (disjoint-qubit) gates therefore share a key, which is how the
         optimizer's seen-set and the generator's hash table avoid revisiting
         trivially equal circuits.
+
+        Implemented as heap-based Kahn topological sorting (O(n log n + E)
+        instead of the quadratic min-over-ready scan) and cached on the
+        circuit; computing it freezes the circuit.  Ties in ``sort_key``
+        cannot occur among simultaneously-ready instructions (equal keys
+        imply equal qubit operands, which are wire-ordered), so the heap
+        emits exactly the sequence the quadratic algorithm did.
         """
-        remaining = list(range(len(self.instructions)))
-        # Predecessor counts based on per-qubit wire order.
+        cached = self._canonical_key
+        if cached is not None:
+            return cached
+        instructions = self.instructions
+        count = len(instructions)
+        indegree = [0] * count
+        successors: List[List[int]] = [[] for _ in range(count)]
         last_on_qubit: Dict[int, int] = {}
-        preds: Dict[int, set[int]] = {i: set() for i in remaining}
-        for index, inst in enumerate(self.instructions):
+        for index, inst in enumerate(instructions):
             for qubit in inst.qubits:
-                if qubit in last_on_qubit:
-                    preds[index].add(last_on_qubit[qubit])
+                prev = last_on_qubit.get(qubit)
+                if prev is not None:
+                    successors[prev].append(index)
+                    indegree[index] += 1
                 last_on_qubit[qubit] = index
-        emitted: List[int] = []
-        done: set[int] = set()
-        pending = set(remaining)
-        while pending:
-            ready = [i for i in pending if preds[i] <= done]
-            best = min(ready, key=lambda i: self.instructions[i].sort_key())
-            emitted.append(best)
-            done.add(best)
-            pending.remove(best)
-        return (
-            self.num_qubits,
-            tuple(self.instructions[i].sort_key() for i in emitted),
-        )
+        sort_keys = [inst.sort_key() for inst in instructions]
+        heap = [(sort_keys[i], i) for i in range(count) if indegree[i] == 0]
+        heapq.heapify(heap)
+        emitted: List[tuple] = []
+        while heap:
+            key, index = heapq.heappop(heap)
+            emitted.append(key)
+            for successor in successors[index]:
+                indegree[successor] -= 1
+                if indegree[successor] == 0:
+                    heapq.heappush(heap, (sort_keys[successor], successor))
+        result = (self.num_qubits, tuple(emitted))
+        self._canonical_key = result
+        return result
 
     # -- rewriting helpers -------------------------------------------------------
 
@@ -377,7 +457,14 @@ class Circuit:
         )
 
     def __hash__(self) -> int:
-        return hash((self.num_qubits, tuple(self.instructions)))
+        """Hash consistent with :meth:`canonical_key` (and with ``__eq__``:
+        equal circuits share a canonical key).  Cached; computing it freezes
+        the circuit."""
+        cached = self._hash
+        if cached is None:
+            cached = hash(self.canonical_key())
+            self._hash = cached
+        return cached
 
     def __repr__(self) -> str:
         return (

@@ -132,6 +132,46 @@ class CircuitDAG:
         above = self.ancestors(members) - members
         return not (below & above)
 
+    def reachability_masks(self) -> Tuple[Dict[int, int], Dict[int, int]]:
+        """Per-node descendant and ancestor sets as integer bitmasks.
+
+        Bit ``i`` of ``descendants_mask[n]`` is set iff node ``i`` is a
+        (strict) descendant of ``n``.  Node ids are used as bit positions,
+        which is valid because ids are small consecutive integers.  The
+        matcher uses these to run thousands of convexity checks per circuit
+        as a handful of integer operations each.
+        """
+        order = self.topological_order()
+        descendants_mask: Dict[int, int] = {}
+        for node_id in reversed(order):
+            mask = 0
+            for successor in self.successors[node_id]:
+                mask |= (1 << successor) | descendants_mask[successor]
+            descendants_mask[node_id] = mask
+        ancestors_mask: Dict[int, int] = {}
+        for node_id in order:
+            mask = 0
+            for predecessor in self.predecessors[node_id]:
+                mask |= (1 << predecessor) | ancestors_mask[predecessor]
+            ancestors_mask[node_id] = mask
+        return descendants_mask, ancestors_mask
+
+    def is_convex_masked(
+        self,
+        node_ids: Sequence[int],
+        descendants_mask: Dict[int, int],
+        ancestors_mask: Dict[int, int],
+    ) -> bool:
+        """Bitmask variant of :meth:`is_convex` using precomputed masks."""
+        members = 0
+        below = 0
+        above = 0
+        for node_id in node_ids:
+            members |= 1 << node_id
+            below |= descendants_mask[node_id]
+            above |= ancestors_mask[node_id]
+        return not (below & above & ~members)
+
     # -- rewriting ------------------------------------------------------------
 
     def splice(

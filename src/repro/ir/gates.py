@@ -19,8 +19,9 @@ benchmark circuits and the preprocessing passes.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from fractions import Fraction
-from typing import Callable, Dict, List, Protocol, Sequence
+from typing import Callable, Dict, List, Protocol, Sequence, Tuple
 
 import numpy as np
 
@@ -82,18 +83,51 @@ class Gate:
         self.inverse_name = name if self_inverse else inverse_name
         self.is_diagonal = is_diagonal
         self.description = description
+        # Constant gates have exactly one numeric matrix; it is computed on
+        # first use and shared (read-only) by every caller.  Parametric
+        # matrices are cached per instance keyed by their angle tuple, so
+        # gates that are not in the registry (or shadow a registry name)
+        # still resolve to their own semantics.
+        self._constant_matrix: np.ndarray | None = None
+        self._parametric_cache: "OrderedDict[Tuple[float, ...], np.ndarray]" = (
+            OrderedDict()
+        )
 
     @property
     def is_parametric(self) -> bool:
         return self.num_params > 0
 
     def numeric(self, params: Sequence[float] = ()) -> np.ndarray:
-        """Return the gate unitary as a complex numpy array."""
+        """Return the gate unitary as a complex numpy array.
+
+        The returned array is cached and marked read-only: constant gates
+        are materialized once per process, parametric gates once per
+        distinct angle tuple (bounded LRU).  Callers that need a mutable
+        matrix must copy it.
+        """
         if len(params) != self.num_params:
             raise ValueError(
                 f"gate {self.name} expects {self.num_params} parameters, got {len(params)}"
             )
-        return self._numeric(params)
+        if self.num_params == 0:
+            matrix = self._constant_matrix
+            if matrix is None:
+                matrix = self._numeric(())
+                matrix.setflags(write=False)
+                self._constant_matrix = matrix
+            return matrix
+        key = tuple(float(p) for p in params)
+        cache = self._parametric_cache
+        matrix = cache.get(key)
+        if matrix is None:
+            matrix = self._numeric(key)
+            matrix.setflags(write=False)
+            cache[key] = matrix
+            if len(cache) > _PARAMETRIC_CACHE_LIMIT:
+                cache.popitem(last=False)
+        else:
+            cache.move_to_end(key)
+        return matrix
 
     def symbolic(self, builder: TrigBuilder, angles: Sequence[Angle] = ()) -> SymMatrix:
         """Return the gate unitary as a symbolic matrix over trig polynomials."""
@@ -111,6 +145,13 @@ class Gate:
 
     def __hash__(self) -> int:
         return hash(("Gate", self.name))
+
+
+#: Per-gate bound on cached parametric matrices.  The fingerprint loop
+#: evaluates every gate at a fixed random parameter assignment, so the same
+#: (gate, angles) pairs recur across hundreds of thousands of candidate
+#: circuits; caching them removes the per-candidate trigonometry entirely.
+_PARAMETRIC_CACHE_LIMIT = 4096
 
 
 # ---------------------------------------------------------------------------

@@ -26,6 +26,14 @@ class CNumber:
         self.re = re if isinstance(re, QSqrt2) else QSqrt2(re)
         self.im = im if isinstance(im, QSqrt2) else QSqrt2(im)
 
+    @staticmethod
+    def _make(re: QSqrt2, im: QSqrt2) -> "CNumber":
+        """Internal constructor for operands already known to be QSqrt2."""
+        out = CNumber.__new__(CNumber)
+        out.re = re
+        out.im = im
+        return out
+
     # -- constructors -----------------------------------------------------
 
     @staticmethod
@@ -88,10 +96,11 @@ class CNumber:
     # -- arithmetic ---------------------------------------------------------
 
     def __add__(self, other: Coercible) -> "CNumber":
-        other = _coerce(other)
-        if other is NotImplemented:
-            return NotImplemented
-        return CNumber(self.re + other.re, self.im + other.im)
+        if type(other) is not CNumber:
+            other = _coerce(other)
+            if other is NotImplemented:
+                return NotImplemented
+        return CNumber._make(self.re + other.re, self.im + other.im)
 
     __radd__ = __add__
 
@@ -111,12 +120,23 @@ class CNumber:
         return other - self
 
     def __mul__(self, other: Coercible) -> "CNumber":
-        other = _coerce(other)
-        if other is NotImplemented:
-            return NotImplemented
-        return CNumber(
-            self.re * other.re - self.im * other.im,
-            self.re * other.im + self.im * other.re,
+        if type(other) is not CNumber:
+            other = _coerce(other)
+            if other is NotImplemented:
+                return NotImplemented
+        # Purely real values are the overwhelmingly common case in the
+        # verifier's polynomials; skip the imaginary cross terms for them.
+        sim = self.im
+        oim = other.im
+        if sim.is_zero():
+            if oim.is_zero():
+                return CNumber._make(self.re * other.re, sim)
+            return CNumber._make(self.re * other.re, self.re * oim)
+        if oim.is_zero():
+            return CNumber._make(self.re * other.re, sim * other.re)
+        return CNumber._make(
+            self.re * other.re - sim * oim,
+            self.re * oim + sim * other.re,
         )
 
     __rmul__ = __mul__

@@ -31,8 +31,16 @@ class QSqrt2:
     __slots__ = ("a", "b")
 
     def __init__(self, a: RationalLike = 0, b: RationalLike = 0) -> None:
-        self.a = Fraction(a)
-        self.b = Fraction(b)
+        self.a = a if type(a) is Fraction else Fraction(a)
+        self.b = b if type(b) is Fraction else Fraction(b)
+
+    @staticmethod
+    def _make(a: Fraction, b: Fraction) -> "QSqrt2":
+        """Internal constructor for operands already known to be Fractions."""
+        out = QSqrt2.__new__(QSqrt2)
+        out.a = a
+        out.b = b
+        return out
 
     # -- constructors -----------------------------------------------------
 
@@ -71,21 +79,25 @@ class QSqrt2:
     # -- arithmetic ---------------------------------------------------------
 
     def __add__(self, other: "QSqrt2 | RationalLike") -> "QSqrt2":
+        if type(other) is QSqrt2:
+            return QSqrt2._make(self.a + other.a, self.b + other.b)
         other = _coerce(other)
         if other is NotImplemented:
             return NotImplemented
-        return QSqrt2(self.a + other.a, self.b + other.b)
+        return QSqrt2._make(self.a + other.a, self.b + other.b)
 
     __radd__ = __add__
 
     def __neg__(self) -> "QSqrt2":
-        return QSqrt2(-self.a, -self.b)
+        return QSqrt2._make(-self.a, -self.b)
 
     def __sub__(self, other: "QSqrt2 | RationalLike") -> "QSqrt2":
+        if type(other) is QSqrt2:
+            return QSqrt2._make(self.a - other.a, self.b - other.b)
         other = _coerce(other)
         if other is NotImplemented:
             return NotImplemented
-        return QSqrt2(self.a - other.a, self.b - other.b)
+        return QSqrt2._make(self.a - other.a, self.b - other.b)
 
     def __rsub__(self, other: "QSqrt2 | RationalLike") -> "QSqrt2":
         other = _coerce(other)
@@ -94,13 +106,24 @@ class QSqrt2:
         return other - self
 
     def __mul__(self, other: "QSqrt2 | RationalLike") -> "QSqrt2":
-        other = _coerce(other)
-        if other is NotImplemented:
-            return NotImplemented
+        if type(other) is not QSqrt2:
+            other = _coerce(other)
+            if other is NotImplemented:
+                return NotImplemented
         # (a1 + b1*s)(a2 + b2*s) = a1*a2 + 2*b1*b2 + (a1*b2 + a2*b1)*s
-        return QSqrt2(
-            self.a * other.a + 2 * self.b * other.b,
-            self.a * other.b + self.b * other.a,
+        # Most values flowing through the verifier are plain rationals
+        # (b = 0), so skip the cross terms whenever a sqrt(2) part vanishes.
+        sb = self.b
+        ob = other.b
+        if not sb:
+            if not ob:
+                return QSqrt2._make(self.a * other.a, sb)
+            return QSqrt2._make(self.a * other.a, self.a * ob)
+        if not ob:
+            return QSqrt2._make(self.a * other.a, sb * other.a)
+        return QSqrt2._make(
+            self.a * other.a + 2 * sb * ob,
+            self.a * ob + sb * other.a,
         )
 
     __rmul__ = __mul__

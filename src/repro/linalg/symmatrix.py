@@ -116,6 +116,26 @@ class SymMatrix:
             [[poly * entry for entry in row] for row in self.rows]
         )
 
+    def equals_scaled(self, other: "SymMatrix", scalar: TrigPoly | CNumber) -> bool:
+        """Check ``scalar * self == other`` without materializing the product.
+
+        Zero entries are compared directly (skipping the polynomial
+        multiplication — gate matrices are mostly zeros) and the scan exits
+        on the first mismatch, which makes rejecting wrong phase candidates
+        cheap in the verifier's hot loop.
+        """
+        if self.shape() != other.shape():
+            return False
+        poly = scalar if isinstance(scalar, TrigPoly) else TrigPoly.constant(scalar)
+        for self_row, other_row in zip(self.rows, other.rows):
+            for entry, expected in zip(self_row, other_row):
+                if entry.is_zero():
+                    if not expected.is_zero():
+                        return False
+                elif poly * entry != expected:
+                    return False
+        return True
+
     def __add__(self, other: "SymMatrix") -> "SymMatrix":
         if self.shape() != other.shape():
             raise ValueError("shape mismatch in addition")

@@ -174,9 +174,25 @@ class TrigPoly:
         other = _coerce_poly(other)
         if other is NotImplemented:
             return NotImplemented
+        a_terms = self.terms
+        b_terms = other.terms
+        # Scaling by a constant polynomial needs no monomial merging or
+        # Pythagorean reduction (CNumber is a field, so products of nonzero
+        # coefficients stay nonzero); this is the dominant case when the
+        # verifier applies phase factors and gate constants.
+        if len(b_terms) == 1 and () in b_terms:
+            scale = b_terms[()]
+            out = TrigPoly.__new__(TrigPoly)
+            out.terms = {m: c * scale for m, c in a_terms.items()}
+            return out
+        if len(a_terms) == 1 and () in a_terms:
+            scale = a_terms[()]
+            out = TrigPoly.__new__(TrigPoly)
+            out.terms = {m: scale * c for m, c in b_terms.items()}
+            return out
         reduced: Dict[Monomial, CNumber] = {}
-        for mono_a, coeff_a in self.terms.items():
-            for mono_b, coeff_b in other.terms.items():
+        for mono_a, coeff_a in a_terms.items():
+            for mono_b, coeff_b in b_terms.items():
                 product = coeff_a * coeff_b
                 if product.is_zero():
                     continue

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.ir.circuit import Circuit, Instruction
 from repro.ir.dag import CircuitDAG
 from repro.ir.params import Angle
+from repro.perf import NULL_RECORDER, PerfRecorder
 from repro.optimizer.xfer import Transformation
 
 
@@ -44,18 +45,29 @@ class Match:
 class PatternMatcher:
     """Finds and applies transformation matches on a fixed circuit."""
 
-    def __init__(self, circuit: Circuit) -> None:
+    def __init__(self, circuit: Circuit, perf: Optional[PerfRecorder] = None) -> None:
         self.circuit = circuit
+        self.perf = perf if perf is not None else NULL_RECORDER
         self.dag = CircuitDAG.from_circuit(circuit)
         # Index DAG nodes by gate name for fast candidate lookup.
         self._nodes_by_gate: Dict[str, List[int]] = {}
         for node_id, inst in self.dag.nodes.items():
             self._nodes_by_gate.setdefault(inst.gate.name, []).append(node_id)
-        # Position of each node on each of its wires, for order checks.
-        self._wire_position: Dict[Tuple[int, int], int] = {}
+        # Position of each node on each of its wires (-1 when the node does
+        # not touch the wire); indexed as [node_id][qubit] — node ids are
+        # consecutive integers, so flat lists beat tuple-keyed dicts here.
+        self._wire_pos: List[List[int]] = [
+            [-1] * circuit.num_qubits for _ in range(len(self.dag.nodes))
+        ]
         for qubit, wire in enumerate(self.dag.wires):
             for position, node_id in enumerate(wire):
-                self._wire_position[(node_id, qubit)] = position
+                self._wire_pos[node_id][qubit] = position
+        # Matches keyed by (pattern identity, match limit): many
+        # transformations extracted from one ECC share a source pattern, so
+        # the backtracking search runs once per distinct pattern.
+        self._match_cache: Dict[tuple, List[Match]] = {}
+        # Bitmask reachability for O(pattern-size) convexity checks.
+        self._descendants_mask, self._ancestors_mask = self.dag.reachability_masks()
 
     # -- matching -----------------------------------------------------------
 
@@ -65,41 +77,66 @@ class PatternMatcher:
         """Return matches of ``pattern`` as convex subcircuits of the circuit."""
         if len(pattern) == 0 or len(pattern) > len(self.circuit):
             return []
+        pattern_insts = pattern.instructions
+        num_pattern = len(pattern_insts)
         matches: List[Match] = []
         assignment: List[int] = []
         qubit_map: Dict[int, int] = {}
+        used_circuit_qubits: set[int] = set()
         used_nodes: set[int] = set()
+        nodes = self.dag.nodes
 
         def backtrack(position: int) -> bool:
             """Returns True when the match limit has been reached."""
             if max_matches is not None and len(matches) >= max_matches:
                 return True
-            if position == len(pattern):
+            if position == num_pattern:
                 match = self._finalize(pattern, assignment, dict(qubit_map))
                 if match is not None:
                     matches.append(match)
                 return max_matches is not None and len(matches) >= max_matches
-            pattern_inst = pattern.instructions[position]
-            for node_id in self._nodes_by_gate.get(pattern_inst.gate.name, ()):
+            pattern_inst = pattern_insts[position]
+            pattern_qubits = pattern_inst.qubits
+            for node_id in self._candidate_nodes(
+                pattern, position, assignment, qubit_map
+            ):
                 if node_id in used_nodes:
                     continue
-                node_inst = self.dag.nodes[node_id]
-                new_mappings = self._qubit_constraints(pattern_inst, node_inst, qubit_map)
-                if new_mappings is None:
-                    continue
-                if not self._wire_order_ok(
-                    pattern, position, node_id, assignment, qubit_map, new_mappings
+                node_inst = nodes[node_id]
+                # Bind qubits eagerly (rolled back below): the mapping must
+                # stay injective and agree with previous bindings.
+                new_bindings: List[int] = []
+                compatible = True
+                for pattern_qubit, circuit_qubit in zip(
+                    pattern_qubits, node_inst.qubits
                 ):
+                    bound = qubit_map.get(pattern_qubit)
+                    if bound is not None:
+                        if bound != circuit_qubit:
+                            compatible = False
+                            break
+                    elif circuit_qubit in used_circuit_qubits:
+                        compatible = False
+                        break
+                    else:
+                        qubit_map[pattern_qubit] = circuit_qubit
+                        used_circuit_qubits.add(circuit_qubit)
+                        new_bindings.append(pattern_qubit)
+                if compatible:
+                    compatible = self._wire_order_ok(
+                        pattern, position, node_id, assignment, qubit_map
+                    )
+                if not compatible:
+                    for pattern_qubit in new_bindings:
+                        used_circuit_qubits.remove(qubit_map.pop(pattern_qubit))
                     continue
-                for pattern_qubit, circuit_qubit in new_mappings.items():
-                    qubit_map[pattern_qubit] = circuit_qubit
                 assignment.append(node_id)
                 used_nodes.add(node_id)
                 stop = backtrack(position + 1)
                 used_nodes.remove(node_id)
                 assignment.pop()
-                for pattern_qubit in new_mappings:
-                    del qubit_map[pattern_qubit]
+                for pattern_qubit in new_bindings:
+                    used_circuit_qubits.remove(qubit_map.pop(pattern_qubit))
                 if stop:
                     return True
             return False
@@ -107,27 +144,48 @@ class PatternMatcher:
         backtrack(0)
         return matches
 
-    def _qubit_constraints(
+    def _candidate_nodes(
         self,
-        pattern_inst: Instruction,
-        node_inst: Instruction,
+        pattern: Circuit,
+        position: int,
+        assignment: Sequence[int],
         qubit_map: Dict[int, int],
-    ) -> Optional[Dict[int, int]]:
-        """Check operand compatibility; return the new qubit bindings or None."""
-        new_mappings: Dict[int, int] = {}
-        mapped_targets = set(qubit_map.values())
-        for pattern_qubit, circuit_qubit in zip(pattern_inst.qubits, node_inst.qubits):
-            if pattern_qubit in qubit_map:
-                if qubit_map[pattern_qubit] != circuit_qubit:
-                    return None
-            elif pattern_qubit in new_mappings:
-                if new_mappings[pattern_qubit] != circuit_qubit:
-                    return None
-            else:
-                if circuit_qubit in mapped_targets or circuit_qubit in new_mappings.values():
-                    return None
-                new_mappings[pattern_qubit] = circuit_qubit
-        return new_mappings
+    ) -> Sequence[int]:
+        """Candidate circuit nodes for the pattern instruction at ``position``.
+
+        When the instruction shares a qubit with an already-matched pattern
+        instruction, every valid match must lie strictly after that match on
+        the corresponding circuit wire, so only that wire suffix (filtered
+        by gate name) is enumerated instead of every node with the right
+        gate.  Disconnected pattern prefixes fall back to the gate index.
+        """
+        pattern_inst = pattern.instructions[position]
+        gate_name = pattern_inst.gate.name
+        for pattern_qubit in pattern_inst.qubits:
+            circuit_qubit = qubit_map.get(pattern_qubit)
+            if circuit_qubit is None:
+                continue
+            for earlier in range(position - 1, -1, -1):
+                if pattern_qubit in pattern.instructions[earlier].qubits:
+                    earlier_position = self._wire_pos[assignment[earlier]][
+                        circuit_qubit
+                    ]
+                    if earlier_position < 0:
+                        return ()
+                    wire = self.dag.wires[circuit_qubit]
+                    nodes = self.dag.nodes
+                    # Wire-order pruning on one shared wire is sound: the
+                    # remaining constraints are re-checked during binding
+                    # and by _wire_order_ok.
+                    return [
+                        node_id
+                        for node_id in wire[earlier_position + 1 :]
+                        if nodes[node_id].gate.name == gate_name
+                    ]
+            # A mapped qubit with no earlier pattern instruction on it cannot
+            # happen (the mapping was created by an earlier instruction), but
+            # fall through defensively.
+        return self._nodes_by_gate.get(gate_name, ())
 
     def _wire_order_ok(
         self,
@@ -136,25 +194,25 @@ class PatternMatcher:
         node_id: int,
         assignment: Sequence[int],
         qubit_map: Dict[int, int],
-        new_mappings: Dict[int, int],
     ) -> bool:
-        """Matched gates must appear on every shared wire in pattern order."""
-        combined = dict(qubit_map)
-        combined.update(new_mappings)
+        """Matched gates must appear on every shared wire in pattern order.
+
+        ``qubit_map`` already contains the bindings introduced by the
+        instruction at ``position`` (the caller binds eagerly).
+        """
+        wire_pos = self._wire_pos
+        node_positions = wire_pos[node_id]
         pattern_inst = pattern.instructions[position]
         for pattern_qubit in pattern_inst.qubits:
-            circuit_qubit = combined[pattern_qubit]
-            node_position = self._wire_position.get((node_id, circuit_qubit))
-            if node_position is None:
+            circuit_qubit = qubit_map[pattern_qubit]
+            node_position = node_positions[circuit_qubit]
+            if node_position < 0:
                 return False
             # Find the most recent earlier pattern instruction on this qubit.
             for earlier in range(position - 1, -1, -1):
                 if pattern_qubit in pattern.instructions[earlier].qubits:
-                    earlier_node = assignment[earlier]
-                    earlier_position = self._wire_position.get(
-                        (earlier_node, circuit_qubit)
-                    )
-                    if earlier_position is None or earlier_position >= node_position:
+                    earlier_position = wire_pos[assignment[earlier]][circuit_qubit]
+                    if earlier_position < 0 or earlier_position >= node_position:
                         return False
                     break
         return True
@@ -166,7 +224,9 @@ class PatternMatcher:
         qubit_map: Dict[int, int],
     ) -> Optional[Match]:
         node_ids = tuple(assignment)
-        if not self.dag.is_convex(node_ids):
+        if not self.dag.is_convex_masked(
+            node_ids, self._descendants_mask, self._ancestors_mask
+        ):
             return None
         param_assignment = self._solve_params(pattern, node_ids)
         if param_assignment is None:
@@ -267,6 +327,26 @@ class PatternMatcher:
         ]
         return self.dag.splice(match.node_ids, replacement)
 
+    def matches_for(
+        self,
+        transformation: Transformation,
+        max_matches: Optional[int] = None,
+    ) -> List[Match]:
+        """Matches of the transformation's source pattern, cached by pattern.
+
+        Matches depend only on the source circuit, so transformations that
+        share a source (every ``C_1 -> C_i`` of one ECC) reuse one search.
+        """
+        cache_key = (transformation.source_key, max_matches)
+        cached = self._match_cache.get(cache_key)
+        if cached is not None:
+            self.perf.count("matcher.match_cache.hits")
+            return cached
+        self.perf.count("matcher.match_cache.misses")
+        matches = self.find_matches(transformation.source, max_matches=max_matches)
+        self._match_cache[cache_key] = matches
+        return matches
+
     def apply_all(
         self,
         transformation: Transformation,
@@ -275,7 +355,7 @@ class PatternMatcher:
         """All distinct circuits obtainable by applying ``transformation``."""
         results: List[Circuit] = []
         seen_keys: set = set()
-        for match in self.find_matches(transformation.source, max_matches=max_matches):
+        for match in self.matches_for(transformation, max_matches=max_matches):
             new_circuit = self.apply(transformation, match)
             if new_circuit is None:
                 continue

@@ -23,6 +23,7 @@ from repro.ir.circuit import Circuit
 from repro.optimizer.cost import CostModel, GateCountCost
 from repro.optimizer.matcher import PatternMatcher
 from repro.optimizer.xfer import Transformation
+from repro.perf import PerfRecorder
 
 
 @dataclass
@@ -39,6 +40,9 @@ class OptimizationResult:
     # (elapsed seconds, best cost) samples recorded whenever the best improves,
     # used to draw the Figure 8 style time curves.
     cost_trace: List[Tuple[float, float]] = field(default_factory=list)
+    # Hot-path instrumentation: matcher calls, match cache hit rates,
+    # transformations skipped by the gate-multiset index (see repro.perf).
+    perf: Dict[str, float] = field(default_factory=dict)
 
     @property
     def reduction(self) -> float:
@@ -68,6 +72,11 @@ class BacktrackingOptimizer:
         self.queue_keep = queue_keep
         self.max_matches_per_transformation = max_matches_per_transformation
 
+    #: The per-transformation timeout check runs once every this many
+    #: transformations; ``time.perf_counter()`` is cheap but not free, and
+    #: the inner loop is the hottest code in the optimizer.
+    TIMEOUT_CHECK_STRIDE = 64
+
     def optimize(
         self,
         circuit: Circuit,
@@ -78,6 +87,7 @@ class BacktrackingOptimizer:
         """Run the search and return the best circuit found."""
         start = time.perf_counter()
         counter = itertools.count()
+        perf = PerfRecorder()
 
         initial_cost = self.cost_model.cost(circuit)
         best_circuit = circuit
@@ -90,9 +100,14 @@ class BacktrackingOptimizer:
         iterations = 0
         explored = 1
         timed_out = False
+        max_matches = self.max_matches_per_transformation
 
         while queue:
-            if timeout_seconds is not None and time.perf_counter() - start > timeout_seconds:
+            # One clock read per iteration serves the timeout check and the
+            # loop control; improvement branches (rare) read the clock again
+            # so the Figure 8 cost traces stay accurate.
+            elapsed = time.perf_counter() - start
+            if timeout_seconds is not None and elapsed > timeout_seconds:
                 timed_out = True
                 break
             if max_iterations is not None and iterations >= max_iterations:
@@ -103,29 +118,51 @@ class BacktrackingOptimizer:
             if cost < best_cost:
                 best_cost = cost
                 best_circuit = current
-                cost_trace.append((time.perf_counter() - start, best_cost))
+                cost_trace.append((elapsed, best_cost))
 
-            matcher = PatternMatcher(current)
+            matcher = PatternMatcher(current, perf=perf)
+            perf.count("search.matchers_built")
+            transformations_since_check = 0
             for transformation in self.transformations:
-                if timeout_seconds is not None and time.perf_counter() - start > timeout_seconds:
-                    timed_out = True
-                    break
+                # The timeout check is hoisted behind a coarse counter so the
+                # common path costs one integer op, not a syscall.
+                transformations_since_check += 1
+                if (
+                    timeout_seconds is not None
+                    and transformations_since_check >= self.TIMEOUT_CHECK_STRIDE
+                ):
+                    transformations_since_check = 0
+                    if time.perf_counter() - start > timeout_seconds:
+                        timed_out = True
+                        break
+                # Indexed matching: a pattern can only match if the circuit
+                # contains its gate multiset.
+                if not current.contains_gate_counts(
+                    transformation.source_gate_counts
+                ):
+                    perf.count("search.transformations_skipped")
+                    continue
+                perf.count("search.transformations_matched")
                 for new_circuit in matcher.apply_all(
-                    transformation, max_matches=self.max_matches_per_transformation
+                    transformation, max_matches=max_matches
                 ):
                     key = new_circuit.canonical_key()
                     if key in seen:
+                        perf.count("search.seen_rejects")
                         continue
                     seen.add(key)
                     new_cost = self.cost_model.cost(new_circuit)
                     if new_cost >= self.gamma * best_cost:
+                        perf.count("search.cost_rejects")
                         continue
                     explored += 1
                     heapq.heappush(queue, (new_cost, next(counter), new_circuit))
                     if new_cost < best_cost:
                         best_cost = new_cost
                         best_circuit = new_circuit
-                        cost_trace.append((time.perf_counter() - start, best_cost))
+                        cost_trace.append(
+                            (time.perf_counter() - start, best_cost)
+                        )
             if timed_out:
                 break
 
@@ -142,6 +179,7 @@ class BacktrackingOptimizer:
             time_seconds=time.perf_counter() - start,
             timed_out=timed_out,
             cost_trace=cost_trace,
+            perf=perf.snapshot(),
         )
 
 

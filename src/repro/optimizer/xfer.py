@@ -10,7 +10,8 @@ cannot be matched against anything and only ever increase cost.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from functools import cached_property
+from typing import Dict, List
 
 from repro.generator.ecc import ECCSet
 from repro.ir.circuit import Circuit
@@ -33,6 +34,22 @@ class Transformation:
     def gate_delta(self) -> int:
         """Change in gate count when the transformation is applied."""
         return len(self.target) - len(self.source)
+
+    @cached_property
+    def source_gate_counts(self) -> Dict[str, int]:
+        """Gate-name multiset of the source pattern (precomputed once).
+
+        The search uses this to skip transformations whose source mentions
+        gates the circuit being optimized does not contain, without paying
+        for pattern matching.
+        """
+        return self.source.gate_counts()
+
+    @cached_property
+    def source_key(self) -> tuple:
+        """Identity of the source pattern; transformations extracted from the
+        same ECC share sources, so the matcher caches matches under this."""
+        return self.source.sequence_key()
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,38 @@
+"""Lightweight performance instrumentation for the hot paths.
+
+The generator's fingerprint-and-verify loop and the optimizer's
+match-apply-hash loop are the two wall-clock bottlenecks of the
+reproduction (they bound Tables 2-4 and Figures 7-8).  This subsystem
+provides the counters and timers those loops report — matcher calls,
+fingerprint evaluations, cache hit rates — without imposing measurable
+overhead on the loops themselves.
+
+Usage::
+
+    from repro.perf import PerfRecorder
+
+    perf = PerfRecorder()
+    perf.count("fingerprint.evals")
+    with perf.timer("matcher.find"):
+        ...
+    print(perf.snapshot())
+
+:class:`PerfRecorder` instances are cheap dictionaries; subsystems create
+one per run and surface ``snapshot()`` in their result objects
+(:class:`repro.generator.repgen.GeneratorStats` and
+:class:`repro.optimizer.search.OptimizationResult`).
+"""
+
+from repro.perf.instrument import (
+    NULL_RECORDER,
+    PerfRecorder,
+    get_recorder,
+    set_recorder,
+)
+
+__all__ = [
+    "PerfRecorder",
+    "NULL_RECORDER",
+    "get_recorder",
+    "set_recorder",
+]

@@ -1,0 +1,143 @@
+"""Counters and timers for the generator/optimizer hot loops.
+
+Design constraints:
+
+* incrementing a counter must be a couple of dict operations — the
+  fingerprint loop calls it hundreds of thousands of times per run;
+* recorders must compose: a RepGen run owns one recorder and shares it
+  with its fingerprint context and verifier so cache hit rates from all
+  layers land in one snapshot;
+* a disabled (null) recorder must be safe to call from library code that
+  was not handed an explicit recorder.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Mapping
+
+
+class PerfRecorder:
+    """Accumulates named counters and wall-clock timers."""
+
+    __slots__ = ("counters", "timers", "enabled")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.counters: Dict[str, int] = {}
+        self.timers: Dict[str, float] = {}
+        self.enabled = enabled
+
+    # -- counters -----------------------------------------------------------
+
+    def count(self, name: str, increment: int = 1) -> None:
+        """Add ``increment`` to the counter ``name`` (created on first use)."""
+        if not self.enabled:
+            return
+        counters = self.counters
+        counters[name] = counters.get(name, 0) + increment
+
+    def value(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def hit_rate(self, hits: str, misses: str) -> float:
+        """Return ``hits / (hits + misses)``; 0.0 when neither occurred."""
+        h = self.counters.get(hits, 0)
+        m = self.counters.get(misses, 0)
+        total = h + m
+        return h / total if total else 0.0
+
+    # -- timers -------------------------------------------------------------
+
+    def add_time(self, name: str, seconds: float) -> None:
+        if not self.enabled:
+            return
+        timers = self.timers
+        timers[name] = timers.get(name, 0.0) + seconds
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Context manager accumulating wall-clock time under ``name``."""
+        if not self.enabled:
+            yield
+            return
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(name, time.perf_counter() - start)
+
+    # -- aggregation ---------------------------------------------------------
+
+    def merge(self, other: "PerfRecorder") -> None:
+        """Fold another recorder's counters and timers into this one."""
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        for name, value in other.timers.items():
+            self.timers[name] = self.timers.get(name, 0.0) + value
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.timers.clear()
+
+    def snapshot(self) -> Dict[str, float]:
+        """A flat, JSON-friendly view: counters, timers, derived hit rates.
+
+        For every pair of counters ``<name>.hits`` / ``<name>.misses`` a
+        derived ``<name>.hit_rate`` entry is included.
+        """
+        out: Dict[str, float] = {}
+        out.update(self.counters)
+        for name, value in self.timers.items():
+            out[f"{name}.seconds"] = value
+        prefixes = {
+            name[: -len(".hits")]
+            for name in self.counters
+            if name.endswith(".hits")
+        }
+        prefixes |= {
+            name[: -len(".misses")]
+            for name in self.counters
+            if name.endswith(".misses")
+        }
+        for prefix in sorted(prefixes):
+            out[f"{prefix}.hit_rate"] = self.hit_rate(
+                f"{prefix}.hits", f"{prefix}.misses"
+            )
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"PerfRecorder(counters={len(self.counters)}, "
+            f"timers={len(self.timers)}, enabled={self.enabled})"
+        )
+
+
+#: Shared no-op recorder for call sites that were not given one explicitly.
+NULL_RECORDER = PerfRecorder(enabled=False)
+
+_global_recorder: PerfRecorder = NULL_RECORDER
+
+
+def get_recorder() -> PerfRecorder:
+    """The process-wide default recorder (the null recorder unless set)."""
+    return _global_recorder
+
+
+def set_recorder(recorder: PerfRecorder | None) -> PerfRecorder:
+    """Install (or clear, with None) the process-wide default recorder."""
+    global _global_recorder
+    _global_recorder = recorder if recorder is not None else NULL_RECORDER
+    return _global_recorder
+
+
+def format_snapshot(snapshot: Mapping[str, float]) -> str:
+    """Pretty-print a snapshot, one ``name = value`` line per entry."""
+    lines = []
+    for name in sorted(snapshot):
+        value = snapshot[name]
+        if isinstance(value, float):
+            lines.append(f"{name} = {value:.6g}")
+        else:
+            lines.append(f"{name} = {value}")
+    return "\n".join(lines)

@@ -8,19 +8,49 @@ implementation buckets fingerprints with an absolute error threshold
 ``E_max``: the hash key is ``floor(fingerprint / (2 * E_max))``, and the
 generator additionally compares adjacent buckets (h and h+1) — both exactly
 as described in Section 7.1.
+
+Incremental evaluation
+----------------------
+
+Every candidate RepGen examines is ``parent.appended(inst)`` for a parent
+that is itself a representative, so the evolved statevector
+``[[parent]](p0) |psi1>`` is shared by every extension of that parent.  The
+context therefore keeps an LRU-bounded cache of evolved states keyed by
+sequence key, and :meth:`amplitude_appended` computes a candidate's
+amplitude by applying a *single* gate to the parent's cached state — O(1)
+gate applications per candidate instead of O(n).
+
+The incremental path performs the exact same sequence of floating-point
+operations as a full replay (memoization does not reorder arithmetic), so
+its hash keys are bit-identical to the non-incremental path; a sampling
+cross-check (every ``cross_check_interval`` incremental evaluations) guards
+that invariant at runtime.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from collections import OrderedDict
+from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.ir.circuit import Circuit
-from repro.semantics.simulator import apply_circuit, random_state
+from repro.ir.circuit import Circuit, Instruction
+from repro.perf import NULL_RECORDER, PerfRecorder
+from repro.semantics.simulator import (
+    _apply_gate_to_state,
+    apply_circuit,
+    instruction_unitary,
+    random_state,
+)
 
 DEFAULT_E_MAX = 1e-10
+
+#: Default bound on the number of evolved statevectors kept per context.
+DEFAULT_STATE_CACHE_SIZE = 1 << 15
+
+#: Default sampling interval for the incremental-vs-full cross-check.
+DEFAULT_CROSS_CHECK_INTERVAL = 1024
 
 
 class FingerprintContext:
@@ -32,6 +62,10 @@ class FingerprintContext:
         num_params: int,
         seed: int = 20220433,
         e_max: float = DEFAULT_E_MAX,
+        *,
+        state_cache_size: int = DEFAULT_STATE_CACHE_SIZE,
+        cross_check_interval: int = DEFAULT_CROSS_CHECK_INTERVAL,
+        perf: Optional[PerfRecorder] = None,
     ) -> None:
         self.num_qubits = num_qubits
         self.num_params = num_params
@@ -42,15 +76,51 @@ class FingerprintContext:
         )
         self.psi0 = random_state(num_qubits, rng)
         self.psi1 = random_state(num_qubits, rng)
+        self.state_cache_size = max(int(state_cache_size), 1)
+        self.cross_check_interval = int(cross_check_interval)
+        self.perf = perf if perf is not None else NULL_RECORDER
+        self._state_cache: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        self._incremental_evals = 0
 
-    def amplitude(self, circuit: Circuit) -> complex:
-        """Return ``<psi0| [[C]](p0) |psi1>`` (without the modulus)."""
+    # -- state cache ---------------------------------------------------------
+
+    def _store_state(self, key: tuple, state: np.ndarray) -> None:
+        cache = self._state_cache
+        cache[key] = state
+        if len(cache) > self.state_cache_size:
+            cache.popitem(last=False)
+            self.perf.count("fingerprint.state_cache.evictions")
+
+    def evolved_state(self, circuit: Circuit) -> np.ndarray:
+        """Return ``[[C]](p0) |psi1>``, cached by the circuit's sequence key.
+
+        The returned array is owned by the cache and must not be mutated.
+        """
         if circuit.num_qubits != self.num_qubits:
             raise ValueError(
                 f"context is for {self.num_qubits} qubits, circuit has {circuit.num_qubits}"
             )
-        evolved = apply_circuit(circuit, self.psi1, self.param_values)
-        return complex(np.vdot(self.psi0, evolved))
+        key = circuit.sequence_key()
+        cache = self._state_cache
+        state = cache.get(key)
+        if state is not None:
+            cache.move_to_end(key)
+            self.perf.count("fingerprint.state_cache.hits")
+            return state
+        self.perf.count("fingerprint.state_cache.misses")
+        state = apply_circuit(circuit, self.psi1, self.param_values)
+        self._store_state(key, state)
+        return state
+
+    def clear_state_cache(self) -> None:
+        self._state_cache.clear()
+
+    # -- full-replay path ----------------------------------------------------
+
+    def amplitude(self, circuit: Circuit) -> complex:
+        """Return ``<psi0| [[C]](p0) |psi1>`` (without the modulus)."""
+        self.perf.count("fingerprint.evals")
+        return complex(np.vdot(self.psi0, self.evolved_state(circuit)))
 
     def fingerprint(self, circuit: Circuit) -> float:
         """The real-valued fingerprint (modulus of the amplitude)."""
@@ -68,6 +138,66 @@ class FingerprintContext:
         """
         key = self.hash_key(circuit)
         return (key - 1, key, key + 1)
+
+    # -- incremental path ----------------------------------------------------
+
+    def amplitude_appended(self, parent: Circuit, inst: Instruction) -> complex:
+        """Amplitude of ``parent.appended(inst)`` via the parent's cached state.
+
+        Applies exactly one gate instead of replaying the whole candidate;
+        the candidate's evolved state is cached as well, so a follow-up
+        verifier phase search reuses it for free.
+        """
+        self.perf.count("fingerprint.evals")
+        self.perf.count("fingerprint.incremental_evals")
+        parent_state = self.evolved_state(parent)
+        gate_matrix = instruction_unitary(inst, self.param_values)
+        state = _apply_gate_to_state(
+            parent_state, gate_matrix, inst.qubits, self.num_qubits
+        )
+        key = parent.sequence_key() + (inst.sort_key(),)
+        self._store_state(key, state)
+
+        self._incremental_evals += 1
+        if (
+            self.cross_check_interval > 0
+            and self._incremental_evals % self.cross_check_interval == 0
+        ):
+            self._cross_check(parent, inst, state)
+        return complex(np.vdot(self.psi0, state))
+
+    def fingerprint_appended(self, parent: Circuit, inst: Instruction) -> float:
+        return abs(self.amplitude_appended(parent, inst))
+
+    def hash_key_appended(self, parent: Circuit, inst: Instruction) -> int:
+        """Bucket key of ``parent.appended(inst)``, computed incrementally.
+
+        Bit-identical to ``hash_key(parent.appended(inst))``: the cached
+        parent state is the product of the same ordered gate applications a
+        full replay performs, so the final amplitude is the same float.
+        """
+        return int(
+            math.floor(self.fingerprint_appended(parent, inst) / (2.0 * self.e_max))
+        )
+
+    def _cross_check(
+        self, parent: Circuit, inst: Instruction, incremental_state: np.ndarray
+    ) -> None:
+        """Verify the incremental state against a from-scratch replay."""
+        self.perf.count("fingerprint.cross_checks")
+        replayed = apply_circuit(
+            parent.appended(inst), self.psi1, self.param_values
+        )
+        if not np.array_equal(replayed, incremental_state):
+            # Bit-identity is the expected invariant; tolerate nothing less
+            # than e_max (which would corrupt bucket assignment) and flag
+            # even tiny drift loudly.
+            drift = float(np.max(np.abs(replayed - incremental_state)))
+            raise RuntimeError(
+                "incremental fingerprint state diverged from full replay "
+                f"(max |delta| = {drift:.3e}); the state cache is stale or "
+                "a gate matrix was mutated in place"
+            )
 
 
 def fingerprint(circuit: Circuit, context: FingerprintContext | None = None) -> float:

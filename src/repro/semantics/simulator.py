@@ -33,37 +33,29 @@ def expand_to_qubits(matrix: np.ndarray, qubits: Sequence[int], num_qubits: int)
     ``matrix`` is a ``2^d x 2^d`` unitary whose d qubit operands are, in
     order, ``qubits``; the result is the ``2^n x 2^n`` unitary acting as the
     gate on those qubits and as identity elsewhere.
+
+    Implemented as ``kron(matrix, I)`` followed by an axis permutation, so
+    the embedding stays inside vectorized numpy with no per-entry loop.
     """
     num_targets = len(qubits)
     if matrix.shape != (1 << num_targets, 1 << num_targets):
         raise ValueError("matrix shape does not match number of target qubits")
     dim = 1 << num_qubits
-    full = np.zeros((dim, dim), dtype=complex)
     other_qubits = [q for q in range(num_qubits) if q not in qubits]
-    num_other = len(other_qubits)
-
-    # Iterate over basis states of the non-target qubits; for each, place the
-    # gate matrix block on the subspace spanned by the target qubits.
-    for other_bits in range(1 << num_other):
-        base_index = 0
-        for position, qubit in enumerate(other_qubits):
-            if (other_bits >> (num_other - 1 - position)) & 1:
-                base_index |= 1 << (num_qubits - 1 - qubit)
-        for row_bits in range(1 << num_targets):
-            row_index = base_index
-            for position, qubit in enumerate(qubits):
-                if (row_bits >> (num_targets - 1 - position)) & 1:
-                    row_index |= 1 << (num_qubits - 1 - qubit)
-            for col_bits in range(1 << num_targets):
-                value = matrix[row_bits, col_bits]
-                if value == 0:
-                    continue
-                col_index = base_index
-                for position, qubit in enumerate(qubits):
-                    if (col_bits >> (num_targets - 1 - position)) & 1:
-                        col_index |= 1 << (num_qubits - 1 - qubit)
-                full[row_index, col_index] = value
-    return full
+    # kron orders the row/column bits as (*qubits, *other_qubits); moveaxis
+    # then permutes each qubit's row and column axis to its global position.
+    full = np.kron(
+        np.asarray(matrix, dtype=complex),
+        np.eye(1 << len(other_qubits), dtype=complex),
+    )
+    order = list(qubits) + other_qubits
+    tensor = full.reshape([2] * (2 * num_qubits))
+    sources = list(range(2 * num_qubits))
+    destinations = [order[i] for i in range(num_qubits)] + [
+        num_qubits + order[i] for i in range(num_qubits)
+    ]
+    tensor = np.moveaxis(tensor, sources, destinations)
+    return np.ascontiguousarray(tensor).reshape(dim, dim)
 
 
 def circuit_unitary(

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.ir.circuit import Circuit
+from repro.perf import NULL_RECORDER, PerfRecorder
 from repro.semantics.fingerprint import FingerprintContext
 from repro.semantics.phase import PhaseFactor, find_phase_candidates
 from repro.semantics.simulator import circuits_equivalent_numeric
@@ -32,7 +33,7 @@ from repro.verifier.trig import (
     AtomTrigBuilder,
     SymbolicContext,
     UnrepresentableAngleError,
-    symbolic_circuit_matrix,
+    symbolic_instruction_matrix,
 )
 
 
@@ -84,6 +85,10 @@ class EquivalenceVerifier:
             numeric check instead of raising.
     """
 
+    #: Bound on cached symbolic matrices; the cache is halved (oldest first)
+    #: when it grows past this, which keeps long generator runs bounded.
+    MATRIX_CACHE_LIMIT = 100_000
+
     def __init__(
         self,
         num_params: int,
@@ -91,14 +96,30 @@ class EquivalenceVerifier:
         search_linear_phase: bool = False,
         allow_numeric_fallback: bool = True,
         seed: int = 20220433,
+        perf: Optional[PerfRecorder] = None,
     ) -> None:
         self.num_params = num_params
         self.search_linear_phase = search_linear_phase
         self.allow_numeric_fallback = allow_numeric_fallback
         self.seed = seed
+        self.perf = perf if perf is not None else NULL_RECORDER
         self.stats = VerifierStats()
         self._fingerprint_contexts: Dict[int, FingerprintContext] = {}
+        # Symbolic circuit matrices keyed by (num_qubits, sequence-key
+        # prefix, atom denominators).  Because a RepGen candidate is always
+        # parent + one gate, caching every *prefix* makes the candidate's
+        # matrix a single sparse gate multiplication away from a cache hit.
         self._matrix_cache: Dict[Tuple, object] = {}
+        # Embedded single-instruction matrices keyed the same way.
+        self._instruction_cache: Dict[Tuple, object] = {}
+
+    def set_fingerprint_context(self, context: FingerprintContext) -> None:
+        """Share an externally-owned fingerprint context (same seed).
+
+        The generator calls this so the verifier's numeric phase screen
+        reuses the evolved statevectors the fingerprint loop already cached.
+        """
+        self._fingerprint_contexts[context.num_qubits] = context
 
     # -- public API -----------------------------------------------------------
 
@@ -149,7 +170,7 @@ class EquivalenceVerifier:
 
         for candidate in candidates:
             phase_poly = builder.exp_i(candidate.as_angle())
-            if matrix_b.scalar_mul(phase_poly) == matrix_a:
+            if matrix_b.equals_scaled(matrix_a, phase_poly):
                 self.stats.symbolic_proofs += 1
                 return VerificationResult(True, phase=candidate, method="symbolic")
 
@@ -184,13 +205,67 @@ class EquivalenceVerifier:
         return self._fingerprint_contexts[num_qubits]
 
     def _symbolic_matrix(self, circuit: Circuit, builder: AtomTrigBuilder, context: SymbolicContext):
-        key = (
-            circuit.num_qubits,
-            circuit.sequence_key(),
-            tuple(context.denominators),
-        )
-        cached = self._matrix_cache.get(key)
+        """Symbolic unitary of ``circuit``, built incrementally.
+
+        Matrices for every instruction-sequence *prefix* are cached, so a
+        circuit extending an already-verified one (the common case in
+        RepGen, where each candidate is a representative plus one gate)
+        costs a single gate multiplication instead of a full rebuild.
+        """
+        from repro.linalg.symmatrix import SymMatrix
+
+        num_qubits = circuit.num_qubits
+        denominators = tuple(context.denominators)
+        sequence = circuit.sequence_key()
+        matrix_cache = self._matrix_cache
+        perf = self.perf
+
+        full_key = (num_qubits, sequence, denominators)
+        cached = matrix_cache.get(full_key)
+        if cached is not None:
+            perf.count("verifier.matrix_cache.hits")
+            return cached
+        perf.count("verifier.matrix_cache.misses")
+
+        # Longest cached prefix (the empty prefix is the identity).
+        total = len(sequence)
+        prefix_len = 0
+        matrix = None
+        for length in range(total - 1, 0, -1):
+            candidate_key = (num_qubits, sequence[:length], denominators)
+            matrix = matrix_cache.get(candidate_key)
+            if matrix is not None:
+                prefix_len = length
+                break
+        if matrix is None:
+            matrix = SymMatrix.identity(1 << num_qubits)
+        perf.count("verifier.matrix_prefix_reuse", prefix_len)
+
+        if len(matrix_cache) > self.MATRIX_CACHE_LIMIT:
+            # Drop the older half (insertion order); correctness is
+            # unaffected, only the amount of recomputation.
+            for stale in list(matrix_cache)[: self.MATRIX_CACHE_LIMIT // 2]:
+                del matrix_cache[stale]
+
+        for position in range(prefix_len, total):
+            inst = circuit.instructions[position]
+            gate_matrix = self._symbolic_instruction(
+                inst, builder, num_qubits, denominators
+            )
+            matrix = gate_matrix @ matrix
+            matrix_cache[(num_qubits, sequence[: position + 1], denominators)] = matrix
+        return matrix
+
+    def _symbolic_instruction(
+        self, inst, builder: AtomTrigBuilder, num_qubits: int, denominators: Tuple
+    ):
+        """Cached full-space symbolic matrix of a single instruction."""
+        key = (inst.sort_key(), num_qubits, denominators)
+        cached = self._instruction_cache.get(key)
         if cached is None:
-            cached = symbolic_circuit_matrix(circuit, builder)
-            self._matrix_cache[key] = cached
+            self.perf.count("verifier.instruction_cache.misses")
+            cached = symbolic_instruction_matrix(inst, builder, num_qubits)
+            self._instruction_cache[key] = cached
+        else:
+            self.perf.count("verifier.instruction_cache.hits")
         return cached

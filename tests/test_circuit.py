@@ -122,6 +122,74 @@ class TestCanonicalization:
         assert a.sequence_key() != b.sequence_key()
 
 
+class TestKeyCachingAndImmutability:
+    def test_canonical_key_is_cached(self):
+        circuit = small_circuit()
+        first = circuit.canonical_key()
+        assert circuit.canonical_key() is first
+
+    def test_sequence_key_is_cached(self):
+        circuit = small_circuit()
+        assert circuit.sequence_key() is circuit.sequence_key()
+
+    def test_hash_consistent_with_canonical_key(self):
+        a = Circuit(2).h(0).x(1).cx(0, 1)
+        b = Circuit(2).x(1).h(0).cx(0, 1)
+        assert a.canonical_key() == b.canonical_key()
+        assert hash(a) == hash(b)
+
+    def test_hash_consistent_with_equality(self):
+        assert hash(small_circuit()) == hash(small_circuit())
+
+    def test_keyed_circuit_is_frozen(self):
+        circuit = small_circuit()
+        assert not circuit.is_frozen
+        circuit.canonical_key()
+        assert circuit.is_frozen
+        with pytest.raises(RuntimeError):
+            circuit.x(0)
+        with pytest.raises(RuntimeError):
+            circuit.extend([Instruction("x", (0,))])
+        # The instruction list was not mutated by the failed appends.
+        assert circuit.gate_count == 4
+
+    def test_hashing_freezes(self):
+        circuit = small_circuit()
+        hash(circuit)
+        with pytest.raises(RuntimeError):
+            circuit.h(0)
+
+    def test_copy_of_frozen_circuit_is_mutable(self):
+        circuit = small_circuit()
+        circuit.sequence_key()
+        copy = circuit.copy()
+        copy.x(0)
+        assert copy.gate_count == 5
+        assert circuit.gate_count == 4
+
+    def test_appended_on_frozen_circuit(self):
+        circuit = small_circuit()
+        circuit.canonical_key()
+        extended = circuit.appended(Instruction("x", (0,)))
+        assert extended.gate_count == 5
+
+    def test_gate_counts_maintained_incrementally(self):
+        circuit = Circuit(2)
+        assert circuit.gate_counts() == {}
+        circuit.h(0).cx(0, 1).h(1)
+        assert circuit.gate_counts() == {"h": 2, "cx": 1}
+        assert circuit.count_gate("h") == 2
+        assert circuit.count_gate("x") == 0
+        assert circuit.drop_first().gate_counts() == {"h": 1, "cx": 1}
+
+    def test_contains_gate_counts(self):
+        circuit = Circuit(2).h(0).h(1).cx(0, 1)
+        assert circuit.contains_gate_counts({"h": 2})
+        assert circuit.contains_gate_counts({"h": 1, "cx": 1})
+        assert not circuit.contains_gate_counts({"h": 3})
+        assert not circuit.contains_gate_counts({"x": 1})
+
+
 class TestRewritingHelpers:
     def test_remap_qubits(self):
         circuit = Circuit(2).cx(0, 1)

@@ -1,10 +1,11 @@
 """Tests for fingerprinting and the phase-factor candidate search."""
 
+import random
 from fractions import Fraction
 
 import pytest
 
-from repro.ir.circuit import Circuit
+from repro.ir.circuit import Circuit, Instruction
 from repro.ir.params import Angle
 from repro.semantics.fingerprint import FingerprintContext, fingerprint
 from repro.semantics.phase import PhaseFactor, find_phase_candidates
@@ -51,6 +52,90 @@ class TestFingerprint:
         b = FingerprintContext(2, 0, seed=42)
         circuit = Circuit(2).h(0).cx(0, 1)
         assert a.fingerprint(circuit) == b.fingerprint(circuit)
+
+
+class TestIncrementalFingerprint:
+    """The incremental (cached-parent-state) path must be *bit-identical* to
+    the full-replay path: memoizing prefixes does not reorder any floating
+    point operation, so amplitudes, fingerprints and hash keys all agree
+    exactly.  These are the property tests backing that claim."""
+
+    def _random_instruction(self, rng, num_qubits):
+        single = ["h", "x", "t", "tdg", "s", "sdg", "z"]
+        if num_qubits >= 2 and rng.random() < 0.4:
+            control, target = rng.sample(range(num_qubits), 2)
+            return Instruction("cx", (control, target))
+        return Instruction(rng.choice(single), (rng.randrange(num_qubits),))
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_incremental_matches_full_replay_random_circuits(
+        self, seed, random_circuit_factory
+    ):
+        rng = random.Random(seed)
+        num_qubits = rng.choice([1, 2, 3])
+        parent = random_circuit_factory(num_qubits, rng.randrange(0, 12), seed)
+        inst = self._random_instruction(rng, num_qubits)
+
+        incremental = FingerprintContext(num_qubits, 0)
+        full = FingerprintContext(num_qubits, 0)
+        candidate = parent.appended(inst)
+
+        assert incremental.amplitude_appended(parent, inst) == full.amplitude(candidate)
+        assert incremental.hash_key_appended(parent, inst) == full.hash_key(candidate)
+
+    @pytest.mark.parametrize("seed", [1, 7, 42])
+    def test_incremental_chain_matches_full_replay(self, seed):
+        """Grow a circuit one gate at a time through the incremental path and
+        compare every intermediate hash key against a fresh full replay."""
+        rng = random.Random(seed)
+        num_qubits = 3
+        incremental = FingerprintContext(num_qubits, 0)
+        circuit = Circuit(num_qubits)
+        for _ in range(15):
+            inst = self._random_instruction(rng, num_qubits)
+            key = incremental.hash_key_appended(circuit, inst)
+            circuit = circuit.appended(inst)
+            fresh = FingerprintContext(num_qubits, 0)
+            assert key == fresh.hash_key(circuit)
+
+    def test_parametric_incremental_matches_full_replay(self):
+        context = FingerprintContext(1, 2)
+        fresh = FingerprintContext(1, 2)
+        parent = Circuit(1, num_params=2).rz(0, Angle.param(0))
+        inst = Instruction("rz", (0,), [Angle.param(1)])
+        assert context.amplitude_appended(parent, inst) == fresh.amplitude(
+            parent.appended(inst)
+        )
+
+    def test_state_cache_eviction_bound(self):
+        context = FingerprintContext(1, 0, state_cache_size=4)
+        for index in range(10):
+            circuit = Circuit(1)
+            for _ in range(index + 1):
+                circuit.h(0)
+            context.fingerprint(circuit)
+        assert len(context._state_cache) <= 4
+
+    def test_eviction_does_not_change_results(self):
+        tiny = FingerprintContext(2, 0, state_cache_size=1)
+        roomy = FingerprintContext(2, 0)
+        parent = Circuit(2).h(0).cx(0, 1)
+        inst = Instruction("t", (1,))
+        assert tiny.hash_key_appended(parent, inst) == roomy.hash_key_appended(
+            parent, inst
+        )
+
+    def test_cross_check_runs_clean(self):
+        from repro.perf import PerfRecorder
+
+        perf = PerfRecorder()
+        context = FingerprintContext(2, 0, cross_check_interval=1, perf=perf)
+        parent = Circuit(2).h(0)
+        # interval=1 cross-checks every incremental evaluation; any
+        # divergence from full replay would raise RuntimeError.
+        for gate in ("x", "z", "s"):
+            context.amplitude_appended(parent, Instruction(gate, (1,)))
+        assert perf.value("fingerprint.cross_checks") == 3
 
 
 class TestPhaseFactor:

@@ -1,0 +1,44 @@
+"""Regression tests: the optimizer must preserve semantics, not just cost.
+
+For every circuit in the quick benchmark suite, preprocess it to the Nam
+gate set, run the backtracking optimizer, and check that the output circuit
+*verifies equivalent* to its input with :class:`EquivalenceVerifier` — the
+same machinery that validates generated transformations — rather than only
+checking that the cost went down.
+"""
+
+import pytest
+
+from repro.benchmarks_suite import benchmark_circuit
+from repro.experiments.config import QUICK
+from repro.optimizer import BacktrackingOptimizer
+from repro.preprocess import preprocess
+from repro.verifier.equivalence import EquivalenceVerifier
+
+
+@pytest.mark.parametrize("name", QUICK.circuits)
+def test_optimizer_output_verifies_equivalent(name, nam_transformations_small):
+    high_level = benchmark_circuit(name)
+    preprocessed = preprocess(high_level, "nam")
+    optimizer = BacktrackingOptimizer(nam_transformations_small)
+    result = optimizer.optimize(preprocessed, max_iterations=10, timeout_seconds=15)
+
+    assert result.final_cost <= result.initial_cost
+
+    verifier = EquivalenceVerifier(num_params=0)
+    verdict = verifier.verify(preprocessed, result.circuit)
+    assert verdict.equivalent, (
+        f"optimizer output for {name} failed equivalence verification: "
+        f"{verdict.reason}"
+    )
+
+
+def test_verifier_rejects_non_equivalent_rewrite(nam_transformations_small):
+    """Sanity check that the regression test has teeth: a wrong 'rewrite'
+    (dropping a gate) must be rejected by the same verifier."""
+    from repro.ir import Circuit
+
+    circuit = preprocess(benchmark_circuit("tof_3"), "nam")
+    broken = Circuit(circuit.num_qubits, circuit.instructions[:-1])
+    verifier = EquivalenceVerifier(num_params=0)
+    assert not verifier.verify(circuit, broken).equivalent
