@@ -1,0 +1,190 @@
+"""Command-line front end for the experiment drivers.
+
+Runs the generation-centric experiments with the scale-out knobs exposed::
+
+    python -m repro.experiments.cli generate --gate-set nam --n 3 --q 3
+    python -m repro.experiments.cli generator-metrics --gate-set nam --n 1 2 3
+    python -m repro.experiments.cli optimize --gate-set nam --circuit tof_3
+
+Shared flags:
+
+* ``--workers N``    — shard RepGen fingerprinting over N processes
+  (default: the ``REPRO_GEN_WORKERS`` environment variable, else serial);
+* ``--cache-dir DIR``— persistent ECC cache location (default
+  ``REPRO_CACHE_DIR`` or ``.repro_cache/``);
+* ``--no-cache``     — neither read nor write the persistent cache.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Optional, Sequence
+
+from repro.generator.cache import CACHE_DIR_ENV_VAR, CACHE_DISABLE_ENV_VAR
+from repro.generator.parallel import WORKERS_ENV_VAR
+
+
+def _add_shared_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--gate-set",
+        default="nam",
+        help="target gate set (nam, ibm, rigetti, clifford_t)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fingerprint worker processes (default: REPRO_GEN_WORKERS or serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent ECC cache directory (default: REPRO_CACHE_DIR or .repro_cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="neither read nor write the persistent .repro_cache/ store",
+    )
+    parser.add_argument("--json", action="store_true", help="emit JSON instead of text")
+
+
+def _apply_shared_flags(args: argparse.Namespace) -> None:
+    """Translate shared CLI flags into the env knobs the library reads.
+
+    ``--workers`` goes through ``REPRO_GEN_WORKERS`` so it reaches every
+    RepGen construction, including the ones buried inside the table
+    drivers that do not thread a workers parameter.
+    """
+    if args.cache_dir is not None:
+        os.environ[CACHE_DIR_ENV_VAR] = args.cache_dir
+    if args.no_cache:
+        os.environ[CACHE_DISABLE_ENV_VAR] = "1"
+    if args.workers is not None:
+        os.environ[WORKERS_ENV_VAR] = str(args.workers)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_generator
+
+    result = run_generator(
+        args.gate_set,
+        args.n,
+        args.q,
+        verbose=not args.json,
+        use_disk_cache=not args.no_cache,
+        workers=args.workers,
+    )
+    stats = result.stats
+    if args.json:
+        json.dump(stats.as_dict(), sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        print(
+            f"[generate] {args.gate_set} n={args.n} q={args.q}: "
+            f"{stats.num_eccs} classes, {stats.num_transformations} "
+            f"transformations, {stats.circuits_considered} circuits considered "
+            f"in {stats.total_time:.2f}s"
+        )
+        warm = stats.perf.get("cache.warm_hit")
+        if warm:
+            print("[generate] served from the persistent cache")
+    return 0
+
+
+def _cmd_generator_metrics(args: argparse.Namespace) -> int:
+    from repro.experiments.table_generator_metrics import (
+        format_table,
+        run_generator_metrics,
+    )
+
+    rows = run_generator_metrics(args.gate_set, args.n, q_values=args.q)
+    if args.json:
+        json.dump([row.as_dict() for row in rows], sys.stdout, indent=2)
+        print()
+    else:
+        print(format_table(rows))
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    from repro.benchmarks_suite import benchmark_circuit
+    from repro.experiments.runner import quartz_optimize
+
+    circuit = benchmark_circuit(args.circuit)
+    preprocessed, optimized, result = quartz_optimize(
+        circuit,
+        args.gate_set,
+        n=args.n,
+        q=args.q,
+        max_iterations=args.max_iterations,
+        timeout_seconds=args.timeout,
+    )
+    payload = {
+        "circuit": args.circuit,
+        "original_gates": circuit.gate_count,
+        "preprocessed_gates": preprocessed.gate_count,
+        "optimized_gates": optimized.gate_count,
+        "timed_out": result.timed_out,
+        "time_seconds": result.time_seconds,
+    }
+    if args.json:
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        print(
+            f"[optimize] {args.circuit} on {args.gate_set}: "
+            f"{circuit.gate_count} -> {preprocessed.gate_count} (preprocess) "
+            f"-> {optimized.gate_count} (search, {result.time_seconds:.2f}s"
+            f"{', timed out' if result.timed_out else ''})"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.cli",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="run RepGen once (cache-aware)")
+    _add_shared_flags(generate)
+    generate.add_argument("--n", type=int, default=3, help="max gates per circuit")
+    generate.add_argument("--q", type=int, default=3, help="number of qubits")
+    generate.set_defaults(func=_cmd_generate)
+
+    metrics = sub.add_parser(
+        "generator-metrics", help="Table 5/8 generator metrics over a range of n"
+    )
+    _add_shared_flags(metrics)
+    metrics.add_argument("--n", type=int, nargs="+", default=[1, 2, 3])
+    metrics.add_argument("--q", type=int, nargs="+", default=[3])
+    metrics.set_defaults(func=_cmd_generator_metrics)
+
+    optimize = sub.add_parser(
+        "optimize", help="preprocess + backtracking search on one benchmark"
+    )
+    _add_shared_flags(optimize)
+    optimize.add_argument("--circuit", default="tof_3")
+    optimize.add_argument("--n", type=int, default=3)
+    optimize.add_argument("--q", type=int, default=3)
+    optimize.add_argument("--max-iterations", type=int, default=30)
+    optimize.add_argument("--timeout", type=float, default=20.0)
+    optimize.set_defaults(func=_cmd_optimize)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    _apply_shared_flags(args)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,18 +1,26 @@
 """Shared machinery for the experiment harnesses.
 
 Generating an (n, q)-complete ECC set is the expensive step every experiment
-shares, so this module memoizes generated sets (in memory and optionally on
-disk) and provides the standard "preprocess, then search" end-to-end
-optimization used by the gate-count tables.
+shares, so this module memoizes generated sets in memory and persists them
+through the content-hash-keyed ``.repro_cache/`` store
+(:mod:`repro.generator.cache`); reruns of the same configuration skip
+generation entirely.  It also provides the standard "preprocess, then
+search" end-to-end optimization used by the gate-count tables.
+
+Knobs (all also exposed by ``python -m repro.experiments.cli``):
+
+* ``REPRO_CACHE_DIR`` — cache directory (default ``.repro_cache/``);
+* ``REPRO_CACHE_DISABLE=1`` — ignore the disk cache entirely;
+* ``REPRO_GEN_WORKERS`` — fingerprint worker processes per RepGen run.
 """
 
 from __future__ import annotations
 
-import os
-from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from repro.generator import RepGen, GeneratorResult
+from repro.generator.cache import ECCCache, cache_key
+from repro.generator.repgen import DEFAULT_SEED
 from repro.generator.ecc import ECCSet
 from repro.generator.pruning import prune_common_subcircuits, simplify_ecc_set
 from repro.ir.circuit import Circuit
@@ -29,10 +37,10 @@ _ECC_CACHE: Dict[Tuple[str, int, int], ECCSet] = {}
 _GENERATOR_CACHE: Dict[Tuple[str, int, int], GeneratorResult] = {}
 
 
-def _disk_cache_path(gate_set_name: str, n: int, q: int) -> Path:
-    cache_dir = Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
-    cache_dir.mkdir(parents=True, exist_ok=True)
-    return cache_dir / f"ecc_{gate_set_name}_n{n}_q{q}.json"
+def clear_memory_caches() -> None:
+    """Drop the in-process memoization (the disk cache is untouched)."""
+    _ECC_CACHE.clear()
+    _GENERATOR_CACHE.clear()
 
 
 def build_ecc_set(
@@ -42,38 +50,61 @@ def build_ecc_set(
     *,
     prune: bool = True,
     use_disk_cache: bool = True,
+    workers: Optional[int] = None,
     verbose: bool = False,
 ) -> ECCSet:
     """Generate (or load from cache) the pruned (n, q)-complete ECC set."""
     key = (gate_set_name.lower(), n, q)
-    if key in _ECC_CACHE:
+    if prune and key in _ECC_CACHE:
         return _ECC_CACHE[key]
 
-    disk_path = _disk_cache_path(*key)
-    if use_disk_cache and prune and disk_path.exists():
-        ecc_set = ECCSet.from_json(disk_path.read_text())
-        _ECC_CACHE[key] = ecc_set
-        return ecc_set
+    gate_set = get_gate_set(gate_set_name)
+    disk_cache = ECCCache(enabled=None if use_disk_cache else False)
+    if prune:
+        pruned_key = cache_key(
+            "pruned", gate_set, n, q, gate_set.num_params, DEFAULT_SEED
+        )
+        cached = disk_cache.load_ecc_set(pruned_key)
+        if cached is not None:
+            _ECC_CACHE[key] = cached
+            return cached
 
-    result = run_generator(gate_set_name, n, q, verbose=verbose)
+    result = run_generator(
+        gate_set_name,
+        n,
+        q,
+        verbose=verbose,
+        use_disk_cache=use_disk_cache,
+        workers=workers,
+    )
     ecc_set = result.ecc_set
     if prune:
         ecc_set = prune_common_subcircuits(simplify_ecc_set(ecc_set))
-        if use_disk_cache:
-            disk_path.write_text(ecc_set.to_json())
-    _ECC_CACHE[key] = ecc_set
+        disk_cache.store_ecc_set(pruned_key, ecc_set)
+        _ECC_CACHE[key] = ecc_set
     return ecc_set
 
 
 def run_generator(
-    gate_set_name: str, n: int, q: int, *, verbose: bool = False
+    gate_set_name: str,
+    n: int,
+    q: int,
+    *,
+    verbose: bool = False,
+    use_disk_cache: bool = True,
+    workers: Optional[int] = None,
 ) -> GeneratorResult:
-    """Run RepGen (memoized) and return the full result with statistics."""
+    """Run RepGen (memoized in memory and on disk) and return the result."""
     key = (gate_set_name.lower(), n, q)
     if key not in _GENERATOR_CACHE:
         gate_set = get_gate_set(gate_set_name)
-        generator = RepGen(gate_set, num_qubits=q)
-        _GENERATOR_CACHE[key] = generator.generate(n, verbose=verbose)
+        generator = RepGen(gate_set, num_qubits=q, workers=workers)
+        disk_cache = (
+            ECCCache(perf=generator.perf) if use_disk_cache else None
+        )
+        _GENERATOR_CACHE[key] = generator.generate(
+            n, verbose=verbose, cache=disk_cache
+        )
     return _GENERATOR_CACHE[key]
 
 

@@ -1,18 +1,26 @@
-"""Circuit generation: RepGen, ECC sets, and transformation pruning."""
+"""Circuit generation: RepGen, ECC sets, caching, and transformation pruning."""
 
+from repro.generator.cache import CacheKey, ECCCache, SCHEMA_VERSION, cache_key
 from repro.generator.ecc import ECC, ECCSet
+from repro.generator.parallel import ParallelFingerprintPool, resolve_workers
 from repro.generator.repgen import RepGen, GeneratorResult, GeneratorStats
 from repro.generator.pruning import simplify_ecc_set, prune_common_subcircuits
 from repro.generator.brute import count_possible_circuits, characteristic
 
 __all__ = [
+    "CacheKey",
     "ECC",
+    "ECCCache",
     "ECCSet",
-    "RepGen",
     "GeneratorResult",
     "GeneratorStats",
-    "simplify_ecc_set",
-    "prune_common_subcircuits",
-    "count_possible_circuits",
+    "ParallelFingerprintPool",
+    "RepGen",
+    "SCHEMA_VERSION",
+    "cache_key",
     "characteristic",
+    "count_possible_circuits",
+    "prune_common_subcircuits",
+    "resolve_workers",
+    "simplify_ecc_set",
 ]

@@ -1,0 +1,271 @@
+"""Persistent on-disk cache for generated ECC sets (``.repro_cache/``).
+
+Generation is fully deterministic in (gate set, n, q, m, seed), so its
+output can be cached across processes and experiment reruns.  This module
+stores ``ECCSet`` payloads (and full ``RepGen`` results) as JSON blobs in a
+cache directory, keyed by a SHA-256 content hash over
+
+    (schema version, kind, gate-set name, gate list, n, q, m, seed)
+
+Layout (all files directly under the cache directory)::
+
+    .repro_cache/
+        repgen_nam_n3_q3_m2_s20220433_<hash12>.json   # full generator results
+        pruned_nam_n3_q3_m2_s20220433_<hash12>.json   # pruned ECC sets
+
+The human-readable prefix is cosmetic; only the 12-hex-digit content hash
+is authoritative.  Changing any key field — or bumping ``SCHEMA_VERSION``
+when the serialization format changes — changes the hash, so stale blobs
+are simply never looked up.
+
+Robustness contract: a cache *read* never raises.  Truncated, corrupted,
+mismatched or otherwise unreadable blobs produce a ``RuntimeWarning`` and a
+miss, and the caller regenerates (and overwrites the bad blob).  Each blob
+carries a SHA-256 checksum of its body so silent bit-rot is detected, and
+writes go through a temp file + ``os.replace`` so a crashed writer cannot
+leave a half-written blob under the final name.
+
+Knobs: the directory defaults to ``.repro_cache/`` and can be moved with
+``REPRO_CACHE_DIR``; ``REPRO_CACHE_DISABLE=1`` turns the cache into a no-op
+(every load misses, every store is skipped).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.generator.ecc import ECCSet, circuit_from_payload, circuit_to_payload
+from repro.ir.gatesets import GateSet
+from repro.perf import NULL_RECORDER, PerfRecorder
+
+#: Bump whenever the serialized payload or key derivation changes shape.
+SCHEMA_VERSION = 2
+
+CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
+CACHE_DISABLE_ENV_VAR = "REPRO_CACHE_DISABLE"
+
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """The identity of one cached generation artifact."""
+
+    kind: str  # "repgen" (full generator result) or "pruned" (ECC set)
+    gate_set: str
+    gates: tuple
+    n: int
+    q: int
+    m: int
+    seed: int
+
+    def fields(self) -> Dict[str, object]:
+        return {
+            "schema": SCHEMA_VERSION,
+            "kind": self.kind,
+            "gate_set": self.gate_set,
+            "gates": list(self.gates),
+            "n": self.n,
+            "q": self.q,
+            "m": self.m,
+            "seed": self.seed,
+        }
+
+    def content_hash(self) -> str:
+        canonical = json.dumps(self.fields(), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def filename(self) -> str:
+        return (
+            f"{self.kind}_{self.gate_set}_n{self.n}_q{self.q}"
+            f"_m{self.m}_s{self.seed}_{self.content_hash()[:12]}.json"
+        )
+
+
+def cache_key(
+    kind: str, gate_set: GateSet, n: int, q: int, m: int, seed: int
+) -> CacheKey:
+    """Build the cache key for a generation run's configuration."""
+    return CacheKey(
+        kind=kind,
+        gate_set=gate_set.name.lower(),
+        gates=tuple(gate_set.gate_names()),
+        n=int(n),
+        q=int(q),
+        m=int(m),
+        seed=int(seed),
+    )
+
+
+def _body_checksum(body: dict) -> str:
+    return hashlib.sha256(
+        json.dumps(body, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+class ECCCache:
+    """Corruption-tolerant JSON blob store for generation artifacts."""
+
+    def __init__(
+        self,
+        directory: str | os.PathLike | None = None,
+        *,
+        enabled: Optional[bool] = None,
+        perf: Optional[PerfRecorder] = None,
+    ) -> None:
+        if directory is None:
+            directory = os.environ.get(CACHE_DIR_ENV_VAR, DEFAULT_CACHE_DIR)
+        self.directory = Path(directory)
+        if enabled is None:
+            enabled = os.environ.get(CACHE_DISABLE_ENV_VAR, "") not in (
+                "1",
+                "true",
+                "yes",
+            )
+        self.enabled = enabled
+        self.perf = perf if perf is not None else NULL_RECORDER
+
+    def path_for(self, key: CacheKey) -> Path:
+        return self.directory / key.filename()
+
+    # -- raw blob layer ------------------------------------------------------
+
+    def load(self, key: CacheKey) -> Optional[dict]:
+        """Return the cached body for ``key``, or None (never raises)."""
+        if not self.enabled:
+            self.perf.count("cache.disabled_loads")
+            return None
+        path = self.path_for(key)
+        try:
+            if not path.exists():
+                self.perf.count("cache.misses")
+                return None
+            envelope = json.loads(path.read_text(encoding="utf-8"))
+            if envelope.get("schema") != SCHEMA_VERSION:
+                raise ValueError(
+                    f"schema {envelope.get('schema')!r} != {SCHEMA_VERSION}"
+                )
+            if envelope.get("key") != key.fields():
+                raise ValueError("key fields do not match (hash collision or stale blob)")
+            body = envelope["body"]
+            if envelope.get("sha256") != _body_checksum(body):
+                raise ValueError("body checksum mismatch")
+            self.perf.count("cache.hits")
+            return body
+        except Exception as error:  # noqa: BLE001 — the contract is "never crash"
+            self.perf.count("cache.corrupt")
+            warnings.warn(
+                f"ignoring unusable cache blob {path} ({error}); regenerating",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+
+    def store(self, key: CacheKey, body: dict) -> Optional[Path]:
+        """Atomically write a blob; returns its path (None when disabled)."""
+        if not self.enabled:
+            return None
+        path = self.path_for(key)
+        envelope = {
+            "schema": SCHEMA_VERSION,
+            "key": key.fields(),
+            "sha256": _body_checksum(body),
+            "body": body,
+        }
+        tmp_name = None
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=self.directory, prefix=path.name, suffix=".tmp"
+            )
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(envelope, handle)
+            os.replace(tmp_name, path)
+        except OSError as error:
+            # A read-only or full cache directory must not break generation
+            # — and a failed write must not leave a .tmp orphan behind (CI
+            # would persist it into the actions/cache archive forever).
+            if tmp_name is not None:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+            warnings.warn(
+                f"could not write cache blob {path} ({error})",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+        self.perf.count("cache.stores")
+        return path
+
+    # -- typed layers --------------------------------------------------------
+
+    def load_ecc_set(self, key: CacheKey) -> Optional[ECCSet]:
+        body = self.load(key)
+        if body is None:
+            return None
+        try:
+            return ECCSet.from_payload(body["ecc_set"])
+        except Exception as error:  # noqa: BLE001
+            self.perf.count("cache.corrupt")
+            warnings.warn(
+                f"cache blob for {key.filename()} does not deserialize "
+                f"({error}); regenerating",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+
+    def store_ecc_set(self, key: CacheKey, ecc_set: ECCSet) -> Optional[Path]:
+        return self.store(key, {"ecc_set": ecc_set.to_payload()})
+
+    def load_generator_result(self, key: CacheKey):
+        """Rebuild a full :class:`~repro.generator.repgen.GeneratorResult`."""
+        body = self.load(key)
+        if body is None:
+            return None
+        from repro.generator.repgen import GeneratorResult, GeneratorStats
+
+        try:
+            ecc_set = ECCSet.from_payload(body["ecc_set"])
+            num_params = ecc_set.num_params
+            representatives = [
+                circuit_from_payload(payload, num_params=num_params)
+                for payload in body["representatives"]
+            ]
+            stored = dict(body["stats"])
+            rounds = stored.pop("rounds", [])
+            perf = dict(stored.pop("perf", {}))
+            perf["cache.warm_hit"] = perf.get("cache.warm_hit", 0) + 1
+            stats = GeneratorStats(rounds=list(rounds), perf=perf, **stored)
+        except Exception as error:  # noqa: BLE001
+            self.perf.count("cache.corrupt")
+            warnings.warn(
+                f"cache blob for {key.filename()} does not deserialize "
+                f"({error}); regenerating",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+        self.perf.count("cache.result_hits")
+        return GeneratorResult(ecc_set, stats, representatives)
+
+    def store_generator_result(self, key: CacheKey, result) -> Optional[Path]:
+        stats = result.stats.as_dict()
+        stats["rounds"] = list(result.stats.rounds)
+        body = {
+            "ecc_set": result.ecc_set.to_payload(),
+            "representatives": [
+                circuit_to_payload(circuit) for circuit in result.representatives
+            ],
+            "stats": stats,
+        }
+        return self.store(key, body)

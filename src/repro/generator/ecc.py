@@ -10,9 +10,67 @@ member.
 from __future__ import annotations
 
 import json
+from fractions import Fraction
 from typing import Dict, Iterable, Iterator, List, Optional
 
 from repro.ir.circuit import Circuit
+from repro.ir.params import Angle
+
+
+# -- payload helpers ---------------------------------------------------------
+#
+# The JSON-friendly payload form of angles, instructions and circuits is
+# shared by ECCSet serialization, the persistent .repro_cache/ store and the
+# multiprocess fingerprint workers, so it lives here as module functions.
+# Fractions are rendered as strings ("-3/4"), which round-trips exactly.
+
+
+def angle_to_payload(angle: Angle) -> dict:
+    """Exact, canonical payload of an angle.
+
+    Coefficients are emitted in sorted parameter order so that equal angles
+    always serialize to identical bytes — a requirement for content-hashed
+    cache keys and for the serial-vs-parallel byte-identity guarantee.
+    """
+    return {
+        "pi": str(angle.pi_multiple),
+        "coeffs": {str(k): str(v) for k, v in sorted(angle.coefficients.items())},
+    }
+
+
+def angle_from_payload(data: dict) -> Angle:
+    return Angle(
+        Fraction(data["pi"]),
+        {int(k): Fraction(v) for k, v in data["coeffs"].items()},
+    )
+
+
+def instruction_to_payload(inst) -> dict:
+    return {
+        "gate": inst.gate.name,
+        "qubits": list(inst.qubits),
+        "params": [angle_to_payload(p) for p in inst.params],
+    }
+
+
+def circuit_to_payload(circuit: Circuit) -> dict:
+    return {
+        "num_qubits": circuit.num_qubits,
+        "instructions": [
+            instruction_to_payload(inst) for inst in circuit.instructions
+        ],
+    }
+
+
+def circuit_from_payload(data: dict, num_params: int = 0) -> Circuit:
+    circuit = Circuit(data["num_qubits"], num_params=num_params)
+    for inst in data["instructions"]:
+        circuit.append(
+            inst["gate"],
+            inst["qubits"],
+            [angle_from_payload(p) for p in inst["params"]],
+        )
+    return circuit
 
 
 class ECC:
@@ -118,66 +176,33 @@ class ECCSet:
 
     # -- serialization (useful for caching generated sets in experiments) -----
 
-    def to_json(self) -> str:
-        """Serialize to JSON (circuit sequences with exact angles as strings)."""
-        from fractions import Fraction
-
-        def angle_payload(angle) -> dict:
-            return {
-                "pi": str(angle.pi_multiple),
-                "coeffs": {str(k): str(v) for k, v in angle.coefficients.items()},
-            }
-
-        payload = {
+    def to_payload(self) -> dict:
+        """The JSON-friendly payload form (exact angles as strings)."""
+        return {
             "num_qubits": self.num_qubits,
             "num_params": self.num_params,
             "eccs": [
-                [
-                    {
-                        "num_qubits": circuit.num_qubits,
-                        "instructions": [
-                            {
-                                "gate": inst.gate.name,
-                                "qubits": list(inst.qubits),
-                                "params": [angle_payload(p) for p in inst.params],
-                            }
-                            for inst in circuit.instructions
-                        ],
-                    }
-                    for circuit in ecc
-                ]
+                [circuit_to_payload(circuit) for circuit in ecc]
                 for ecc in self.eccs
             ],
         }
-        return json.dumps(payload)
+
+    @staticmethod
+    def from_payload(payload: dict) -> "ECCSet":
+        num_params = payload["num_params"]
+        eccs = [
+            ECC(
+                circuit_from_payload(circuit_payload, num_params=num_params)
+                for circuit_payload in ecc_payload
+            )
+            for ecc_payload in payload["eccs"]
+        ]
+        return ECCSet(eccs, payload["num_qubits"], num_params)
+
+    def to_json(self) -> str:
+        """Serialize to JSON (circuit sequences with exact angles as strings)."""
+        return json.dumps(self.to_payload())
 
     @staticmethod
     def from_json(text: str) -> "ECCSet":
-        from fractions import Fraction
-
-        from repro.ir.params import Angle
-
-        payload = json.loads(text)
-
-        def parse_angle(data: dict) -> Angle:
-            return Angle(
-                Fraction(data["pi"]),
-                {int(k): Fraction(v) for k, v in data["coeffs"].items()},
-            )
-
-        eccs = []
-        for ecc_payload in payload["eccs"]:
-            circuits = []
-            for circuit_payload in ecc_payload:
-                circuit = Circuit(
-                    circuit_payload["num_qubits"], num_params=payload["num_params"]
-                )
-                for inst in circuit_payload["instructions"]:
-                    circuit.append(
-                        inst["gate"],
-                        inst["qubits"],
-                        [parse_angle(p) for p in inst["params"]],
-                    )
-                circuits.append(circuit)
-            eccs.append(ECC(circuits))
-        return ECCSet(eccs, payload["num_qubits"], payload["num_params"])
+        return ECCSet.from_payload(json.loads(text))

@@ -1,0 +1,145 @@
+"""Sharded multiprocess fingerprinting for RepGen rounds.
+
+The paper's equivalence-set generation runs used 128 cores; the candidates
+within one RepGen round are independent up to the ECC insert, so the
+fingerprint evaluation — the numeric bulk of a round — shards cleanly
+across a ``multiprocessing`` pool:
+
+* the parent enumerates and suffix-filters the candidate extensions of
+  every representative (cheap, deterministic);
+* each worker owns a :class:`~repro.semantics.fingerprint.FingerprintContext`
+  rebuilt from the parent context's spec (same seed, hence bit-identical
+  random inputs) and returns the integer hash keys of its shard;
+* the parent merges the keys back in enumeration order and performs the
+  ECC inserts (and all verifier calls) serially.
+
+Because the incremental fingerprint path performs the same ordered
+floating-point operations as a full replay, a worker that replays a parent
+circuit from scratch and applies one gate produces the *same float* the
+serial generator computes — so the merged ECC set is bit-identical to the
+serial run's.  ``tests/test_parallel.py`` and the micro-benchmarks assert
+``ECCSet.to_json`` byte equality between serial and multi-worker runs.
+
+Worker count resolution: an explicit ``workers`` argument wins, else the
+``REPRO_GEN_WORKERS`` environment variable, else 1 (serial).  Any failure
+to set up or use the pool (unpicklable custom gates, missing ``fork`` and
+``spawn`` restrictions, ...) degrades to the serial path with a warning —
+parallelism is an optimization, never a correctness dependency.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import warnings
+from typing import List, Optional, Sequence, Tuple
+
+from repro.ir.circuit import Circuit, Instruction
+from repro.semantics.fingerprint import FingerprintContext
+
+#: Environment variable naming the default worker count.
+WORKERS_ENV_VAR = "REPRO_GEN_WORKERS"
+
+#: Rounds with fewer candidates than this run serially even when a pool is
+#: available: the per-candidate work is ~a few microseconds, so IPC would
+#: dominate.
+MIN_PARALLEL_CANDIDATES = 64
+
+# One job per parent: the parent circuit and its surviving extensions.
+FingerprintJob = Tuple[Circuit, Sequence[Instruction]]
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Resolve a worker count: explicit argument, else env var, else 1."""
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV_VAR, "")
+        try:
+            workers = int(raw) if raw.strip() else 1
+        except ValueError:
+            warnings.warn(
+                f"ignoring non-integer {WORKERS_ENV_VAR}={raw!r}; running serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            workers = 1
+    return max(int(workers), 1)
+
+
+# -- worker side -------------------------------------------------------------
+
+_WORKER_CONTEXT: Optional[FingerprintContext] = None
+
+
+def _init_worker(context_spec: dict) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = FingerprintContext.from_spec(context_spec)
+
+
+def _hash_keys_for_job(job: FingerprintJob):
+    """Hash keys and evolved states for every candidate of a job.
+
+    The parent's evolved state is replayed once per job (bit-identical to
+    the serial generator's incrementally-built state) and shared by all of
+    the parent's candidates through the worker context's state cache.  The
+    candidate statevectors ride back alongside the keys (2^q amplitudes
+    each — tiny at the q this generator targets) so the main process can
+    seed its own fingerprint cache: the verifier's numeric phase screen
+    reuses those states during the ECC inserts, exactly as it does after a
+    serial round.
+    """
+    context = _WORKER_CONTEXT
+    assert context is not None, "worker pool used before initialization"
+    parent, instructions = job
+    keys = [context.hash_key_appended(parent, inst) for inst in instructions]
+    parent_key = parent.sequence_key()
+    states = [
+        context.cached_state(parent_key + (inst.sort_key(),))
+        for inst in instructions
+    ]
+    return keys, states
+
+
+# -- parent side -------------------------------------------------------------
+
+
+class ParallelFingerprintPool:
+    """A persistent worker pool computing fingerprint hash keys for RepGen.
+
+    Created once per :meth:`RepGen.generate` call and reused across rounds,
+    so workers amortize interpreter start-up and keep their state caches
+    warm between rounds.
+    """
+
+    def __init__(self, context_spec: dict, workers: int) -> None:
+        if workers < 2:
+            raise ValueError("a parallel pool needs at least 2 workers")
+        self.workers = workers
+        start_methods = multiprocessing.get_all_start_methods()
+        method = "fork" if "fork" in start_methods else start_methods[0]
+        self._pool = multiprocessing.get_context(method).Pool(
+            processes=workers,
+            initializer=_init_worker,
+            initargs=(dict(context_spec),),
+        )
+
+    def hash_keys(self, jobs: Sequence[FingerprintJob]) -> List[Tuple[List[int], list]]:
+        """Per job, in job order: (hash keys, candidate evolved states).
+
+        Job order is what makes the parent's merge deterministic.  A state
+        entry may be None if the worker's cache evicted it (only possible
+        when a single parent has more extensions than the cache bound).
+        """
+        if not jobs:
+            return []
+        chunksize = max(1, len(jobs) // (self.workers * 4))
+        return self._pool.map(_hash_keys_for_job, jobs, chunksize=chunksize)
+
+    def close(self) -> None:
+        self._pool.terminate()
+        self._pool.join()
+
+    def __enter__(self) -> "ParallelFingerprintPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -14,10 +14,18 @@ from __future__ import annotations
 
 import itertools
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
+from repro.generator.cache import CacheKey, ECCCache, cache_key
 from repro.generator.ecc import ECC, ECCSet
+from repro.generator.parallel import (
+    MIN_PARALLEL_CANDIDATES,
+    FingerprintJob,
+    ParallelFingerprintPool,
+    resolve_workers,
+)
 from repro.ir.circuit import Circuit, Instruction
 from repro.ir.gates import Gate
 from repro.ir.gatesets import GateSet
@@ -25,6 +33,10 @@ from repro.ir.params import Angle, ParamSpec
 from repro.perf import PerfRecorder
 from repro.semantics.fingerprint import FingerprintContext
 from repro.verifier.equivalence import EquivalenceVerifier
+
+#: Seed for the fingerprint context's random inputs.  Part of the cache key:
+#: two runs agree bit-for-bit only when their seeds agree.
+DEFAULT_SEED = 20220433
 
 
 @dataclass
@@ -81,6 +93,12 @@ class RepGen:
             the gate set's, i.e. {p_i, 2 p_i, p_i + p_j} with single use).
         verifier: an :class:`EquivalenceVerifier`; created on demand.
         seed: seed for the fingerprint context's random inputs.
+        workers: size of the multiprocessing pool candidate fingerprinting
+            is sharded across (None reads ``REPRO_GEN_WORKERS``, <= 1 runs
+            serially).  The result is bit-identical to a serial run: only
+            the fingerprint evaluation is parallel; bucket merging, ECC
+            inserts and all verifier calls happen in the parent in
+            enumeration order.
     """
 
     def __init__(
@@ -90,10 +108,13 @@ class RepGen:
         num_params: Optional[int] = None,
         param_spec: Optional[ParamSpec] = None,
         verifier: Optional[EquivalenceVerifier] = None,
-        seed: int = 20220433,
+        seed: int = DEFAULT_SEED,
+        workers: Optional[int] = None,
     ) -> None:
         self.gate_set = gate_set
         self.num_qubits = num_qubits
+        self.seed = seed
+        self.workers = resolve_workers(workers)
         self.num_params = gate_set.num_params if num_params is None else num_params
         self.param_spec = param_spec or ParamSpec(self.num_params)
         self.perf = PerfRecorder()
@@ -148,10 +169,47 @@ class RepGen:
 
     # -- the main algorithm -------------------------------------------------------
 
-    def generate(self, max_gates: int, verbose: bool = False) -> GeneratorResult:
-        """Run RepGen and return an (n, q)-complete ECC set (n = max_gates)."""
+    def generate(
+        self,
+        max_gates: int,
+        verbose: bool = False,
+        *,
+        cache: Optional[ECCCache] = None,
+    ) -> GeneratorResult:
+        """Run RepGen and return an (n, q)-complete ECC set (n = max_gates).
+
+        With a ``cache``, a warm hit for this exact configuration (gate
+        set, n, q, m, seed — plus the serialization schema version) skips
+        generation entirely and a completed run is stored for the next one.
+        """
+        key: Optional[CacheKey] = None
+        if cache is not None:
+            key = self._cache_key(max_gates)
+            cached = cache.load_generator_result(key)
+            if cached is not None:
+                self.perf.count("repgen.cache.hits")
+                return cached
+            self.perf.count("repgen.cache.misses")
+
+        result = self._generate_uncached(max_gates, verbose)
+        if cache is not None and key is not None:
+            cache.store_generator_result(key, result)
+        return result
+
+    def _cache_key(self, max_gates: int) -> CacheKey:
+        return cache_key(
+            "repgen",
+            self.gate_set,
+            max_gates,
+            self.num_qubits,
+            self.num_params,
+            self.seed,
+        )
+
+    def _generate_uncached(self, max_gates: int, verbose: bool) -> GeneratorResult:
         start_time = time.perf_counter()
         stats = GeneratorStats()
+        pool = self._make_pool()
 
         empty = Circuit(self.num_qubits, num_params=self.num_params)
         eccs: List[ECC] = [ECC([empty])]
@@ -161,49 +219,72 @@ class RepGen:
         rep_keys: Set[tuple] = {empty.sequence_key()}
         reps_by_size: Dict[int, List[Circuit]] = {0: [empty]}
 
-        for round_index in range(1, max_gates + 1):
-            round_start = time.perf_counter()
-            considered_this_round = 0
-            parents = reps_by_size.get(round_index - 1, [])
-            for parent in parents:
-                used_params = parent.used_params()
-                parent_seq_key = parent.sequence_key()
-                for inst in self.single_gate_instructions(used_params):
-                    if parent_seq_key:
-                        # The candidate's first-gate-dropped suffix must be a
-                        # representative; build its key from the parent's
-                        # cached key instead of materializing the suffix.
-                        suffix_key = parent_seq_key[1:] + (inst.sort_key(),)
-                        if suffix_key not in rep_keys:
-                            self.perf.count("repgen.suffix_rejects")
-                            continue
-                    considered_this_round += 1
-                    stats.circuits_considered += 1
-                    candidate = parent.appended(inst)
-                    key = self.fingerprints.hash_key_appended(parent, inst)
-                    self._insert_circuit(candidate, key, eccs, ecc_buckets)
+        try:
+            for round_index in range(1, max_gates + 1):
+                round_start = time.perf_counter()
+                parents = reps_by_size.get(round_index - 1, [])
 
-            # Recompute representatives: the minimum of every class.
-            rep_keys = set()
-            reps_by_size = {}
-            for ecc in eccs:
-                representative = ecc.representative
-                rep_keys.add(representative.sequence_key())
-                reps_by_size.setdefault(len(representative), []).append(representative)
+                # Enumerate this round's candidates: every surviving
+                # single-gate extension of every representative, grouped by
+                # parent so workers replay each parent state once.
+                jobs: List[FingerprintJob] = []
+                considered_this_round = 0
+                for parent in parents:
+                    used_params = parent.used_params()
+                    parent_seq_key = parent.sequence_key()
+                    extensions: List[Instruction] = []
+                    for inst in self.single_gate_instructions(used_params):
+                        if parent_seq_key:
+                            # The candidate's first-gate-dropped suffix must
+                            # be a representative; build its key from the
+                            # parent's cached key instead of materializing
+                            # the suffix.
+                            suffix_key = parent_seq_key[1:] + (inst.sort_key(),)
+                            if suffix_key not in rep_keys:
+                                self.perf.count("repgen.suffix_rejects")
+                                continue
+                        extensions.append(inst)
+                    if extensions:
+                        jobs.append((parent, extensions))
+                        considered_this_round += len(extensions)
+                stats.circuits_considered += considered_this_round
 
-            stats.rounds.append(
-                {
-                    "round": round_index,
-                    "considered": considered_this_round,
-                    "eccs": len(eccs),
-                    "time": time.perf_counter() - round_start,
-                }
-            )
-            if verbose:
-                print(
-                    f"[repgen] round {round_index}: considered {considered_this_round}, "
-                    f"classes {len(eccs)}"
+                # Fingerprint the candidates (sharded across the pool when
+                # one is available), then insert in enumeration order — the
+                # inserts and verifier calls are what make the output
+                # deterministic, and they always run in the parent.
+                keys_per_job = self._fingerprint_jobs(jobs, pool)
+                for (parent, extensions), keys in zip(jobs, keys_per_job):
+                    for inst, hash_key in zip(extensions, keys):
+                        candidate = parent.appended(inst)
+                        self._insert_circuit(candidate, hash_key, eccs, ecc_buckets)
+
+                # Recompute representatives: the minimum of every class.
+                rep_keys = set()
+                reps_by_size = {}
+                for ecc in eccs:
+                    representative = ecc.representative
+                    rep_keys.add(representative.sequence_key())
+                    reps_by_size.setdefault(len(representative), []).append(
+                        representative
+                    )
+
+                stats.rounds.append(
+                    {
+                        "round": round_index,
+                        "considered": considered_this_round,
+                        "eccs": len(eccs),
+                        "time": time.perf_counter() - round_start,
+                    }
                 )
+                if verbose:
+                    print(
+                        f"[repgen] round {round_index}: considered "
+                        f"{considered_this_round}, classes {len(eccs)}"
+                    )
+        finally:
+            if pool is not None:
+                pool.close()
 
         representatives = [ecc.representative for ecc in eccs]
         result_set = ECCSet(
@@ -222,6 +303,85 @@ class RepGen:
         return GeneratorResult(result_set, stats, representatives)
 
     # -- helpers --------------------------------------------------------------------
+
+    def _make_pool(self) -> Optional[ParallelFingerprintPool]:
+        """Create the round-sharding worker pool, or None for serial runs.
+
+        Pool setup failures (restricted platforms, unpicklable gate
+        registries, ...) degrade to the serial path: parallelism must never
+        change whether generation succeeds.
+        """
+        if self.workers < 2:
+            return None
+        try:
+            pool = ParallelFingerprintPool(self.fingerprints.spec(), self.workers)
+        except Exception as error:  # noqa: BLE001 — any failure means "go serial"
+            warnings.warn(
+                f"could not start {self.workers} fingerprint workers "
+                f"({error}); generating serially",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            self.perf.count("repgen.parallel.pool_failures")
+            return None
+        self.perf.count("repgen.parallel.pools")
+        self.perf.count("repgen.parallel.workers", self.workers)
+        return pool
+
+    def _fingerprint_jobs(
+        self,
+        jobs: List[FingerprintJob],
+        pool: Optional[ParallelFingerprintPool],
+    ) -> List[List[int]]:
+        """Hash keys for every job, sharded across the pool when worthwhile.
+
+        Worker results merge in job order, so the insert sequence — and
+        therefore the resulting ECC set — is identical to the serial path.
+        """
+        total = sum(len(extensions) for _, extensions in jobs)
+        if pool is not None and total >= MIN_PARALLEL_CANDIDATES:
+            try:
+                results = pool.hash_keys(jobs)
+                # Seed the main-process fingerprint cache with the worker
+                # states so the verifier's phase screen hits on them during
+                # the inserts, exactly as it would after a serial round.
+                seeded = 0
+                keys: List[List[int]] = []
+                for (parent, extensions), (job_keys, job_states) in zip(
+                    jobs, results
+                ):
+                    keys.append(job_keys)
+                    parent_key = parent.sequence_key()
+                    for inst, state in zip(extensions, job_states):
+                        if state is not None:
+                            self.fingerprints.seed_state(
+                                parent_key + (inst.sort_key(),), state
+                            )
+                            seeded += 1
+                self.perf.merge_counts(
+                    {
+                        "repgen.parallel.rounds": 1,
+                        "repgen.parallel.candidates": total,
+                        "repgen.parallel.jobs": len(jobs),
+                        "repgen.parallel.states_seeded": seeded,
+                    }
+                )
+                return keys
+            except Exception as error:  # noqa: BLE001
+                warnings.warn(
+                    f"fingerprint worker pool failed ({error}); "
+                    "falling back to serial fingerprinting",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                self.perf.count("repgen.parallel.round_failures")
+        return [
+            [
+                self.fingerprints.hash_key_appended(parent, inst)
+                for inst in extensions
+            ]
+            for parent, extensions in jobs
+        ]
 
     def _insert_circuit(
         self,

@@ -137,6 +137,28 @@ class Gate:
             )
         return self._symbolic(builder, angles)
 
+    def __reduce__(self):
+        """Pickle registered gates by name.
+
+        A gate's matrix callables can be closures (the constant-gate
+        builders are), so value-pickling a :class:`Gate` — and hence any
+        :class:`~repro.ir.circuit.Instruction` or circuit shipped to a
+        multiprocessing worker — would fail.  Registered gates instead
+        pickle as a reference into the registry, which the receiving
+        process resolves with :func:`get_gate`; the worker then uses its
+        own matrix caches.  Unregistered gates raise a clear error rather
+        than the opaque closure failure.
+        """
+        import pickle
+
+        if GATE_REGISTRY.get(self.name) is self:
+            return (get_gate, (self.name,))
+        raise pickle.PicklingError(
+            f"gate {self.name!r} is not the registered instance; only gates "
+            "resolvable via repro.ir.gates.get_gate can cross process "
+            "boundaries"
+        )
+
     def __repr__(self) -> str:
         return f"Gate({self.name!r}, qubits={self.num_qubits}, params={self.num_params})"
 

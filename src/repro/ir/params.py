@@ -241,9 +241,10 @@ class ParamSpec:
 def angles_from_floats(values: Sequence[float], tolerance: float = 1e-9) -> List[Angle]:
     """Convert float angles to exact :class:`Angle` values when possible.
 
-    Values that are close (within ``tolerance``) to a multiple of pi/8 are
-    snapped to the exact rational multiple; anything else raises, because the
-    exact pipeline cannot represent it.  This is used by the QASM reader.
+    Values that are close (within ``tolerance`` of the ratio to pi) to a
+    multiple of pi/64 are snapped to the exact rational multiple; anything
+    else raises, because the exact pipeline cannot represent it.  This is
+    used by the QASM reader.
     """
     result = []
     for value in values:
@@ -259,6 +260,11 @@ def angle_from_float(value: float, tolerance: float = 1e-9) -> Angle:
         small k (up to pi/64), which would fall outside the exact fragment
         this reproduction supports.
     """
+    if not math.isfinite(value):
+        # Without this guard, round() below raises OverflowError for
+        # infinities and "cannot convert float NaN to integer" for NaN —
+        # neither of which callers screening for ValueError would catch.
+        raise ValueError(f"angle {value} is not finite")
     ratio = value / math.pi
     for denominator in (1, 2, 4, 8, 16, 32, 64):
         scaled = ratio * denominator

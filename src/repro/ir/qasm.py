@@ -28,7 +28,23 @@ _QREG = re.compile(r"^\s*qreg\s+(?P<name>\w+)\s*\[\s*(?P<size>\d+)\s*\]\s*;\s*$"
 _CREG = re.compile(r"^\s*creg\s+\w+\s*\[\s*\d+\s*\]\s*;\s*$")
 _QUBIT_REF = re.compile(r"^\s*(?P<reg>\w+)\s*\[\s*(?P<index>\d+)\s*\]\s*$")
 
-_IGNORED_PREFIXES = ("OPENQASM", "include", "//", "barrier", "measure")
+# Statements outside the supported subset that are skipped rather than
+# rejected.  Matched as whole leading words (see _is_ignored_line): a naive
+# prefix check would also swallow gate lines whose names merely *begin* with
+# one of these words (e.g. a registered custom gate named "barrier_x"),
+# silently dropping gates instead of reporting them.
+_IGNORED_WORDS = frozenset({"OPENQASM", "include", "barrier", "measure", "reset"})
+
+_LEADING_WORD = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+def _is_ignored_line(line: str) -> bool:
+    if line.startswith("//"):
+        return True
+    match = _LEADING_WORD.match(line)
+    # The regex consumes the maximal identifier, so "measurement_gate" yields
+    # the word "measurement_gate" (not "measure") and is correctly kept.
+    return match is not None and match.group(0) in _IGNORED_WORDS
 
 _QASM_NAME_ALIASES = {"cnot": "cx", "toffoli": "ccx", "p": "u1", "u": "u3"}
 
@@ -45,7 +61,7 @@ def parse_qasm(text: str) -> Circuit:
 
     for raw_line in text.splitlines():
         line = raw_line.strip()
-        if not line or any(line.startswith(prefix) for prefix in _IGNORED_PREFIXES):
+        if not line or _is_ignored_line(line):
             continue
         qreg_match = _QREG.match(line)
         if qreg_match:
@@ -69,7 +85,11 @@ def parse_qasm(text: str) -> Circuit:
 
     circuit = Circuit(total_qubits)
     for name, params, qubits in body:
-        circuit.append(get_gate(name), qubits, params)
+        try:
+            gate = get_gate(name)
+        except KeyError as exc:
+            raise QasmError(f"unknown gate {name!r}") from exc
+        circuit.append(gate, qubits, params)
     return circuit
 
 
@@ -88,12 +108,24 @@ def _parse_angle(token: str) -> Angle:
     if not token:
         raise QasmError("empty angle expression")
     if "pi" in token:
-        return Angle(_parse_pi_multiple(token))
+        try:
+            return Angle(_parse_pi_multiple(token))
+        except QasmError:
+            raise
+        except (ValueError, ZeroDivisionError) as exc:
+            # Fraction() failures on malformed numerators/denominators (and
+            # "pi/0") become QasmError instead of leaking raw exceptions.
+            raise QasmError(f"cannot parse pi expression {token!r}") from exc
     try:
         value = float(token)
     except ValueError as exc:
         raise QasmError(f"cannot parse angle {token!r}") from exc
-    return angle_from_float(value)
+    try:
+        return angle_from_float(value)
+    except ValueError as exc:
+        # Out-of-fragment, infinite and NaN angles all surface as QasmError
+        # so callers see one exception type for "this file is unsupported".
+        raise QasmError(f"cannot represent angle {token!r} exactly: {exc}") from exc
 
 
 def _parse_pi_multiple(token: str) -> Fraction:

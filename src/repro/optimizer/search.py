@@ -72,9 +72,14 @@ class BacktrackingOptimizer:
         self.queue_keep = queue_keep
         self.max_matches_per_transformation = max_matches_per_transformation
 
-    #: The per-transformation timeout check runs once every this many
-    #: transformations; ``time.perf_counter()`` is cheap but not free, and
-    #: the inner loop is the hottest code in the optimizer.
+    #: The inner-loop timeout check runs once every this many units of work
+    #: (transformations examined *and* matches applied, sharing one
+    #: counter); ``time.perf_counter()`` is cheap but not free, and the
+    #: inner loop is the hottest code in the optimizer.  Counting matches
+    #: as well bounds the overshoot past ``timeout_seconds`` by the cost of
+    #: a single stride of work rather than by a whole transformation sweep
+    #: (a sweep applies up to ``len(transformations) * max_matches``
+    #: rewrites, which under-reported timeouts badly on large rule sets).
     TIMEOUT_CHECK_STRIDE = 64
 
     def optimize(
@@ -146,6 +151,15 @@ class BacktrackingOptimizer:
                 for new_circuit in matcher.apply_all(
                     transformation, max_matches=max_matches
                 ):
+                    transformations_since_check += 1
+                    if (
+                        timeout_seconds is not None
+                        and transformations_since_check >= self.TIMEOUT_CHECK_STRIDE
+                    ):
+                        transformations_since_check = 0
+                        if time.perf_counter() - start > timeout_seconds:
+                            timed_out = True
+                            break
                     key = new_circuit.canonical_key()
                     if key in seen:
                         perf.count("search.seen_rejects")
@@ -163,6 +177,8 @@ class BacktrackingOptimizer:
                         cost_trace.append(
                             (time.perf_counter() - start, best_cost)
                         )
+                if timed_out:
+                    break
             if timed_out:
                 break
 

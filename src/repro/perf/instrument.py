@@ -76,6 +76,19 @@ class PerfRecorder:
         for name, value in other.timers.items():
             self.timers[name] = self.timers.get(name, 0.0) + value
 
+    def merge_counts(self, counts: Mapping[str, int]) -> None:
+        """Fold a plain name -> increment mapping into the counters.
+
+        Used for counter batches that cross a process boundary (worker
+        pools) or come back from a serialized snapshot — recorders
+        themselves are deliberately never shared between processes.
+        """
+        if not self.enabled:
+            return
+        counters = self.counters
+        for name, value in counts.items():
+            counters[name] = counters.get(name, 0) + int(value)
+
     def reset(self) -> None:
         self.counters.clear()
         self.timers.clear()

@@ -69,6 +69,7 @@ class FingerprintContext:
     ) -> None:
         self.num_qubits = num_qubits
         self.num_params = num_params
+        self.seed = seed
         self.e_max = e_max
         rng = np.random.default_rng(seed)
         self.param_values: list[float] = list(
@@ -81,6 +82,41 @@ class FingerprintContext:
         self.perf = perf if perf is not None else NULL_RECORDER
         self._state_cache: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
         self._incremental_evals = 0
+
+    # -- worker initialization / pickling ------------------------------------
+
+    def spec(self) -> dict:
+        """The picklable construction recipe for an identical context.
+
+        The random inputs (parameter values, |psi0>, |psi1>) are derived
+        deterministically from the seed, so a context rebuilt from its spec
+        in another process produces bit-identical fingerprints.
+        """
+        return {
+            "num_qubits": self.num_qubits,
+            "num_params": self.num_params,
+            "seed": self.seed,
+            "e_max": self.e_max,
+            "state_cache_size": self.state_cache_size,
+            "cross_check_interval": self.cross_check_interval,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "FingerprintContext":
+        return cls(
+            spec["num_qubits"],
+            spec["num_params"],
+            seed=spec["seed"],
+            e_max=spec["e_max"],
+            state_cache_size=spec["state_cache_size"],
+            cross_check_interval=spec["cross_check_interval"],
+        )
+
+    def __reduce__(self):
+        # Pickling ships only the spec: the state cache and perf recorder are
+        # per-process concerns (and recorders are deliberately not shared
+        # across process boundaries).
+        return (_context_from_spec, (self.spec(),))
 
     # -- state cache ---------------------------------------------------------
 
@@ -114,6 +150,21 @@ class FingerprintContext:
 
     def clear_state_cache(self) -> None:
         self._state_cache.clear()
+
+    def cached_state(self, key: tuple) -> Optional[np.ndarray]:
+        """The cached evolved state stored under ``key``, if still present."""
+        return self._state_cache.get(key)
+
+    def seed_state(self, key: tuple, state: np.ndarray) -> None:
+        """Install an externally computed evolved state.
+
+        Used by the multiprocess generator to copy candidate states from
+        worker contexts into the main process, where the verifier's numeric
+        phase screen reuses them.  The caller must guarantee the state is
+        exactly what this context would compute for ``key`` — worker
+        contexts rebuilt from :meth:`spec` satisfy that bit-for-bit.
+        """
+        self._store_state(key, state)
 
     # -- full-replay path ----------------------------------------------------
 
@@ -198,6 +249,11 @@ class FingerprintContext:
                 f"(max |delta| = {drift:.3e}); the state cache is stale or "
                 "a gate matrix was mutated in place"
             )
+
+
+def _context_from_spec(spec: dict) -> FingerprintContext:
+    """Module-level unpickling hook for :meth:`FingerprintContext.__reduce__`."""
+    return FingerprintContext.from_spec(spec)
 
 
 def fingerprint(circuit: Circuit, context: FingerprintContext | None = None) -> float:

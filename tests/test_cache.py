@@ -1,0 +1,200 @@
+"""Tests for the persistent .repro_cache/ ECC store (repro.generator.cache).
+
+Two contracts matter: *invalidation* — any change to the configuration that
+determines generation output must change the content hash and miss — and
+*corruption tolerance* — an unreadable blob is a warning plus a
+regeneration, never a crash.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.generator import RepGen
+from repro.generator.cache import (
+    CACHE_DISABLE_ENV_VAR,
+    ECCCache,
+    SCHEMA_VERSION,
+    cache_key,
+)
+from repro.ir.gatesets import GateSet, NAM, RIGETTI
+from repro.perf import PerfRecorder
+
+
+@pytest.fixture(scope="module")
+def nam_result():
+    return RepGen(NAM, num_qubits=2, num_params=2).generate(2)
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    # enabled=True: these tests must exercise the real store even when the
+    # surrounding environment (e.g. the cold-cache CI job) disables caching.
+    return ECCCache(tmp_path / "cache", enabled=True)
+
+
+BASE_KEY_ARGS = dict(kind="repgen", gate_set=NAM, n=2, q=2, m=2, seed=20220433)
+
+
+def _key(**overrides):
+    args = dict(BASE_KEY_ARGS)
+    args.update(overrides)
+    return cache_key(
+        args["kind"], args["gate_set"], args["n"], args["q"], args["m"], args["seed"]
+    )
+
+
+class TestKeyInvalidation:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"kind": "pruned"},
+            {"gate_set": RIGETTI},
+            {"n": 3},
+            {"q": 3},
+            {"m": 3},
+            {"seed": 1},
+        ],
+        ids=["kind", "gate_set", "n", "q", "m", "seed"],
+    )
+    def test_every_field_changes_the_hash(self, overrides):
+        assert _key(**overrides).content_hash() != _key().content_hash()
+
+    def test_gate_list_is_part_of_the_key(self):
+        # Same name, different gates: a user redefining "nam" must miss.
+        modified = GateSet("nam", ["h", "x", "rz", "cz"], num_params=2)
+        assert (
+            _key(gate_set=modified).content_hash() != _key().content_hash()
+        )
+
+    def test_schema_version_is_part_of_the_key(self, monkeypatch):
+        baseline = _key().content_hash()
+        monkeypatch.setattr("repro.generator.cache.SCHEMA_VERSION", SCHEMA_VERSION + 1)
+        assert _key().content_hash() != baseline
+
+    def test_changed_key_misses(self, cache, nam_result):
+        cache.store_generator_result(_key(), nam_result)
+        assert cache.load_generator_result(_key(seed=1)) is None
+        assert cache.load_generator_result(_key(n=3)) is None
+        assert cache.load_generator_result(_key()) is not None
+
+
+class TestRoundTrip:
+    def test_generator_result_roundtrip(self, cache, nam_result):
+        key = _key()
+        path = cache.store_generator_result(key, nam_result)
+        assert path is not None and path.exists()
+        restored = cache.load_generator_result(key)
+        assert restored is not None
+        assert restored.ecc_set.to_json() == nam_result.ecc_set.to_json()
+        assert [c.sequence_key() for c in restored.representatives] == [
+            c.sequence_key() for c in nam_result.representatives
+        ]
+        stats = restored.stats
+        assert stats.circuits_considered == nam_result.stats.circuits_considered
+        assert stats.num_eccs == nam_result.stats.num_eccs
+        assert stats.rounds == nam_result.stats.rounds
+        assert stats.perf.get("cache.warm_hit") == 1
+
+    def test_repgen_warm_hit_skips_generation(self, cache, nam_result):
+        generator = RepGen(NAM, num_qubits=2, num_params=2)
+        cold = generator.generate(2, cache=cache)
+        warm_generator = RepGen(NAM, num_qubits=2, num_params=2)
+        warm = warm_generator.generate(2, cache=cache)
+        assert warm.ecc_set.to_json() == cold.ecc_set.to_json()
+        assert warm.ecc_set.to_json() == nam_result.ecc_set.to_json()
+        # The warm run performed no verification of its own.
+        assert warm_generator.verifier.stats.checks == 0
+
+    def test_ecc_set_roundtrip(self, cache, nam_result):
+        key = _key(kind="pruned")
+        cache.store_ecc_set(key, nam_result.ecc_set)
+        restored = cache.load_ecc_set(key)
+        assert restored is not None
+        assert restored.to_json() == nam_result.ecc_set.to_json()
+
+
+class TestCorruptionTolerance:
+    def test_truncated_blob_warns_and_misses(self, cache, nam_result):
+        key = _key()
+        path = cache.store_generator_result(key, nam_result)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        with pytest.warns(RuntimeWarning, match="regenerating"):
+            assert cache.load_generator_result(key) is None
+
+    def test_garbage_blob_warns_and_misses(self, cache, nam_result):
+        key = _key()
+        path = cache.store_generator_result(key, nam_result)
+        path.write_text("not json at all {")
+        with pytest.warns(RuntimeWarning):
+            assert cache.load(key) is None
+
+    def test_checksum_mismatch_warns_and_misses(self, cache, nam_result):
+        key = _key()
+        path = cache.store_generator_result(key, nam_result)
+        envelope = json.loads(path.read_text())
+        envelope["body"]["stats"]["num_eccs"] = 99999  # silent bit-rot
+        path.write_text(json.dumps(envelope))
+        with pytest.warns(RuntimeWarning, match="checksum"):
+            assert cache.load(key) is None
+
+    def test_wrong_schema_warns_and_misses(self, cache, nam_result):
+        key = _key()
+        path = cache.store_generator_result(key, nam_result)
+        envelope = json.loads(path.read_text())
+        envelope["schema"] = SCHEMA_VERSION + 1
+        path.write_text(json.dumps(envelope))
+        with pytest.warns(RuntimeWarning, match="schema"):
+            assert cache.load(key) is None
+
+    def test_corrupt_blob_triggers_regeneration_not_crash(self, cache):
+        key = cache_key("repgen", NAM, 2, 2, 2, 20220433)
+        cache.directory.mkdir(parents=True, exist_ok=True)
+        cache.path_for(key).write_text("corrupt")
+        generator = RepGen(NAM, num_qubits=2, num_params=2)
+        with pytest.warns(RuntimeWarning):
+            result = generator.generate(2, cache=cache)
+        assert result.stats.num_eccs > 0
+        # The bad blob was overwritten by the fresh result.
+        assert cache.load_generator_result(key) is not None
+
+    def test_unwritable_directory_warns_but_generation_succeeds(
+        self, tmp_path, nam_result
+    ):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where the cache dir should be")
+        cache = ECCCache(blocker, enabled=True)  # mkdir() will fail
+        with pytest.warns(RuntimeWarning, match="could not write"):
+            assert cache.store_generator_result(_key(), nam_result) is None
+
+    def test_perf_counters(self, tmp_path, nam_result):
+        perf = PerfRecorder()
+        cache = ECCCache(tmp_path / "cache", enabled=True, perf=perf)
+        key = _key()
+        assert cache.load(key) is None
+        cache.store_generator_result(key, nam_result)
+        assert cache.load(key) is not None
+        assert perf.value("cache.misses") == 1
+        assert perf.value("cache.stores") == 1
+        assert perf.value("cache.hits") == 1
+
+
+class TestDisabling:
+    def test_env_var_disables(self, tmp_path, nam_result, monkeypatch):
+        monkeypatch.setenv(CACHE_DISABLE_ENV_VAR, "1")
+        cache = ECCCache(tmp_path / "cache")
+        assert not cache.enabled
+        key = _key()
+        assert cache.store_generator_result(key, nam_result) is None
+        assert cache.load_generator_result(key) is None
+        assert not (tmp_path / "cache").exists()
+
+    def test_explicit_enabled_overrides_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DISABLE_ENV_VAR, "1")
+        assert ECCCache(tmp_path, enabled=True).enabled
+
+    def test_cache_dir_env_var(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+        assert ECCCache().directory == tmp_path / "elsewhere"

@@ -61,6 +61,57 @@ class TestECCSet:
         assert restored.num_circuits() == nam_ecc_q2_n2.num_circuits()
         assert restored.num_transformations() == nam_ecc_q2_n2.num_transformations()
 
+    def test_json_roundtrip_is_exact_for_parametric_circuits(self, nam_ecc_q2_n3):
+        """Property: from_json(to_json(s)) reproduces every representative,
+        fingerprint key and class membership of a parametric ECC set.
+
+        Cached .repro_cache/ blobs are trusted as if freshly generated, so
+        this round trip must be *exact*, not merely equivalent.
+        """
+        from repro.semantics.fingerprint import FingerprintContext
+
+        original = nam_ecc_q2_n3
+        restored = ECCSet.from_json(original.to_json())
+        assert len(restored) == len(original)
+        assert restored.num_qubits == original.num_qubits
+        assert restored.num_params == original.num_params
+        contexts: dict = {}
+        for ecc_a, ecc_b in zip(original, restored):
+            # Identical class membership, in order, including exact angles.
+            assert [c.sequence_key() for c in ecc_a] == [
+                c.sequence_key() for c in ecc_b
+            ]
+            assert ecc_a.representative.sequence_key() == ecc_b.representative.sequence_key()
+            for circuit_a, circuit_b in zip(ecc_a, ecc_b):
+                assert circuit_a == circuit_b
+                assert circuit_a.num_params == circuit_b.num_params
+                # Identical fingerprint hash keys under a fresh context.
+                q = circuit_a.num_qubits
+                context = contexts.setdefault(
+                    q, FingerprintContext(q, original.num_params)
+                )
+                assert context.hash_key(circuit_a) == context.hash_key(circuit_b)
+        # Reserialization is byte-stable (required for content hashing).
+        assert restored.to_json() == original.to_json()
+
+    def test_json_is_canonical_in_coefficient_order(self):
+        """Equal angles must serialize to identical bytes regardless of the
+        insertion order of their coefficient dicts."""
+        from fractions import Fraction
+
+        from repro.ir.params import Angle
+
+        forward = Angle(Fraction(1, 2), {0: Fraction(1), 1: Fraction(2)})
+        backward = Angle(Fraction(1, 2), {1: Fraction(2), 0: Fraction(1)})
+        assert forward == backward
+        set_a = ECCSet(
+            [ECC([Circuit(1, num_params=2).rz(0, forward)])], 1, 2
+        )
+        set_b = ECCSet(
+            [ECC([Circuit(1, num_params=2).rz(0, backward)])], 1, 2
+        )
+        assert set_a.to_json() == set_b.to_json()
+
 
 class TestRepGen:
     def test_characteristic_matches_paper_for_nam_q3(self):

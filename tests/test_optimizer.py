@@ -186,6 +186,30 @@ class TestBacktrackingSearch:
         result = optimizer.optimize(circuit, timeout_seconds=0.0)
         assert result.timed_out or result.iterations <= 1
 
+    def test_tiny_timeout_reports_flag_elapsed_and_best_so_far(
+        self, nam_transformations_small
+    ):
+        """A timed-out run must say so, report its real elapsed time, and
+        still hand back the best circuit found so far."""
+        circuit = Circuit(2)
+        for _ in range(6):
+            circuit.h(0).h(1).cx(0, 1).h(0).h(1).x(0).x(0)
+        optimizer = BacktrackingOptimizer(nam_transformations_small)
+        result = optimizer.optimize(circuit, timeout_seconds=1e-9)
+        assert result.timed_out
+        assert result.time_seconds > 0.0
+        # The strided check (transformation and match granularity) bounds the
+        # overshoot to a sliver of work, far below a full sweep.
+        assert result.time_seconds < 5.0
+        assert result.final_cost <= result.initial_cost
+        assert result.circuit.num_qubits == circuit.num_qubits
+
+    def test_no_timeout_leaves_flag_unset(self, nam_transformations_small):
+        circuit = Circuit(2).h(0).h(0)
+        optimizer = BacktrackingOptimizer(nam_transformations_small)
+        result = optimizer.optimize(circuit, max_iterations=5)
+        assert not result.timed_out
+
     def test_cost_trace_is_monotone(self, nam_transformations_small):
         circuit = Circuit(2).h(0).h(1).cx(0, 1).h(0).h(1).x(0).x(0)
         optimizer = BacktrackingOptimizer(nam_transformations_small)

@@ -90,6 +90,23 @@ class TestAngleFromFloat:
         with pytest.raises(ValueError):
             angle_from_float(1.0)
 
+    @pytest.mark.parametrize(
+        "value", [float("inf"), float("-inf"), float("nan")]
+    )
+    def test_rejects_non_finite_values_with_value_error(self, value):
+        # round() would otherwise raise OverflowError (inf) or a confusing
+        # "cannot convert float NaN to integer" instead of ValueError.
+        with pytest.raises(ValueError, match="finite"):
+            angle_from_float(value)
+
+    def test_denominator_64_grid_snaps_exactly_in_both_signs(self):
+        for k in range(-128, 129):
+            assert angle_from_float(k * math.pi / 64).pi_multiple == Fraction(k, 64)
+
+    def test_near_miss_at_denominator_64_is_rejected(self):
+        with pytest.raises(ValueError):
+            angle_from_float(math.pi / 64 + 1e-5)
+
 
 class TestParamSpec:
     def test_expression_count_for_two_params(self):

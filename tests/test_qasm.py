@@ -107,3 +107,90 @@ class TestRoundtrip:
         path = tmp_path / "circuit.qasm"
         write_qasm(circuit, str(path))
         assert read_qasm(str(path)) == circuit
+
+    def test_roundtrip_exact_over_benchmark_suite(self):
+        """Property: parse_qasm(to_qasm(c)) == c for every benchmark circuit.
+
+        Exact equality — same gates, same qubits, same exact angles — not
+        just numeric equivalence; QASM is how circuits enter and leave the
+        exact pipeline, so reader/writer drift would corrupt experiments.
+        """
+        from repro.benchmarks_suite import benchmark_circuit
+        from repro.benchmarks_suite.suite import benchmark_names
+
+        for name in benchmark_names():
+            circuit = benchmark_circuit(name)
+            reparsed = parse_qasm(to_qasm(circuit))
+            assert reparsed == circuit, f"QASM round trip drifted for {name}"
+
+    def test_roundtrip_exact_for_random_circuits(self, random_circuit_factory):
+        for seed in range(8):
+            circuit = random_circuit_factory(3, 30, seed, include_ccx=True)
+            assert parse_qasm(to_qasm(circuit)) == circuit
+
+    def test_roundtrip_exact_over_angle_grid(self):
+        """Every rational multiple k*pi/d (d | 64) survives emit + parse."""
+        for denominator in (1, 2, 4, 8, 16, 32, 64):
+            for numerator in range(-130, 131):
+                angle = Angle.pi(Fraction(numerator, denominator))
+                circuit = Circuit(1).rz(0, angle)
+                reparsed = parse_qasm(to_qasm(circuit))
+                assert reparsed[0].params[0] == angle, (
+                    f"angle {numerator}*pi/{denominator} drifted to "
+                    f"{reparsed[0].params[0]}"
+                )
+
+
+class TestIgnoredStatements:
+    def test_whole_word_statements_are_skipped(self):
+        text = (
+            "OPENQASM 2.0;\n"
+            'include "qelib1.inc";\n'
+            "qreg q[2];\n"
+            "creg c[2];\n"
+            "h q[0];\n"
+            "barrier q[0], q[1];\n"
+            "measure q[0] -> c[0];\n"
+            "reset q[1];\n"
+            "// a comment\n"
+        )
+        circuit = parse_qasm(text)
+        assert [inst.gate.name for inst in circuit.instructions] == ["h"]
+
+    def test_gate_names_starting_with_ignored_words_are_not_swallowed(self):
+        # A naive prefix check treated any line starting with "barrier",
+        # "measure", ... as ignorable, silently dropping unknown-gate lines
+        # instead of reporting them.
+        for line in ("barrier2 q[0];", "measurement_gate q[0];", "includes q[0];"):
+            with pytest.raises(QasmError, match="unknown gate"):
+                parse_qasm(f"qreg q[1];\n{line}\n")
+
+    def test_unknown_gate_is_a_qasm_error(self):
+        with pytest.raises(QasmError, match="unknown gate"):
+            parse_qasm("qreg q[1];\nfrobnicate q[0];\n")
+
+
+class TestAngleParsingRobustness:
+    @pytest.mark.parametrize("token", ["inf", "-inf", "nan", "1e400"])
+    def test_non_finite_angles_are_qasm_errors(self, token):
+        # These used to escape as raw OverflowError / "cannot convert float
+        # NaN to integer" from round() instead of a QasmError.
+        with pytest.raises(QasmError):
+            parse_qasm(f"qreg q[1];\nrz({token}) q[0];\n")
+
+    @pytest.mark.parametrize("token", ["pi/0", "foo*pi", "pi*bar", "pi/seven"])
+    def test_malformed_pi_expressions_are_qasm_errors(self, token):
+        with pytest.raises(QasmError):
+            parse_qasm(f"qreg q[1];\nrz({token}) q[0];\n")
+
+    def test_unrepresentable_float_is_a_qasm_error(self):
+        with pytest.raises(QasmError, match="exactly"):
+            parse_qasm("qreg q[1];\nrz(1.0) q[0];\n")  # 1 rad is not k*pi/64
+
+    def test_negative_float_angles_snap_exactly(self):
+        import math
+
+        for k in (-1, -3, -63, -65, 63, 127):
+            value = k * math.pi / 64
+            circuit = parse_qasm(f"qreg q[1];\nrz({value!r}) q[0];\n")
+            assert circuit[0].params[0] == Angle.pi(Fraction(k, 64))
