@@ -332,6 +332,98 @@ def test_vectorized_embedding_matches_and_beats_reference():
     )
 
 
+def test_facade_end_to_end_timing(nam_q3_n3_generation):
+    """One Superoptimizer.optimize run at the quick scale, recorded in the
+    perf trajectory.
+
+    The facade is a composition root over the same pipeline pieces, so its
+    wall-clock must stay in the same regime as the hand-wired search above;
+    its ECC output must be byte-identical to the shared generation fixture.
+    """
+    from repro.api import RunConfig, Superoptimizer, clear_memory_caches
+
+    serial_result, _ = nam_q3_n3_generation
+    clear_memory_caches()
+    facade = Superoptimizer(
+        RunConfig().with_overrides(
+            gate_set="nam",
+            n=3,
+            q=3,
+            num_params=2,
+            cache_enabled=False,
+            max_iterations=15,
+            timeout_seconds=60,
+        )
+    )
+    start = time.perf_counter()
+    report = facade.optimize(benchmark_circuit("tof_3"))
+    elapsed = time.perf_counter() - start
+    _RESULTS["facade_tof3_end_to_end"] = {
+        "seconds": elapsed,
+        "stage_seconds": dict(report.stage_seconds),
+        "final_cost": report.final_cost,
+        "verified": report.verified,
+        "num_transformations": report.num_transformations,
+    }
+    assert facade.generate().ecc_set.to_json() == serial_result.ecc_set.to_json()
+    assert report.verified is True
+    assert report.final_cost <= report.initial_cost
+    assert elapsed < 120.0
+
+
+def test_numba_apply_gate_microbench():
+    """Numba vs numpy `_apply_gate_to_state` timings (recorded, not asserted).
+
+    Runs only when numba is installed (the CI numba leg); the JSON
+    trajectory records the per-gate-application speedup so the compiled
+    backend's benefit is tracked over time.  Correctness parity is asserted
+    regardless of speed.
+    """
+    pytest.importorskip("numba")
+    from repro.semantics.backend import get_backend
+    from repro.semantics.simulator import random_state
+
+    num_qubits = 10
+    rng = np.random.default_rng(17)
+    state = random_state(num_qubits, rng)
+    cases = [
+        (instruction_unitary(Instruction("h", (4,))), (4,)),
+        (instruction_unitary(Instruction("cx", (7, 2))), (7, 2)),
+        (instruction_unitary(Instruction("ccx", (1, 8, 5))), (1, 8, 5)),
+    ]
+    numpy_backend = get_backend("numpy")
+    numba_backend = get_backend("numba")
+
+    # Warm-up triggers JIT compilation outside the timed region, and checks
+    # parity while at it.
+    for matrix, qubits in cases:
+        np.testing.assert_allclose(
+            numba_backend.apply_gate(state, matrix, qubits, num_qubits),
+            numpy_backend.apply_gate(state, matrix, qubits, num_qubits),
+            atol=1e-12,
+        )
+
+    repeats = 200
+    start = time.perf_counter()
+    for _ in range(repeats):
+        for matrix, qubits in cases:
+            numpy_backend.apply_gate(state, matrix, qubits, num_qubits)
+    numpy_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(repeats):
+        for matrix, qubits in cases:
+            numba_backend.apply_gate(state, matrix, qubits, num_qubits)
+    numba_seconds = time.perf_counter() - start
+
+    _RESULTS["numba_apply_gate_q10"] = {
+        "numpy_seconds": numpy_seconds,
+        "numba_seconds": numba_seconds,
+        "ratio_numpy_over_numba": numpy_seconds / numba_seconds,
+        "repeats": repeats * len(cases),
+    }
+
+
 def test_cached_gate_matrices_are_shared():
     """Constant and parametric gate matrices are memoized and read-only."""
     from fractions import Fraction

@@ -10,7 +10,7 @@ global phases.
 Run with:  python examples/custom_gate_set.py
 """
 
-from repro import RepGen, prune_common_subcircuits, simplify_ecc_set
+from repro import Superoptimizer
 from repro.ir.gatesets import GateSet, register_gate_set
 from repro.verifier import EquivalenceVerifier
 
@@ -19,9 +19,11 @@ def main() -> None:
     custom = register_gate_set(GateSet("h_t_cz", ["h", "t", "tdg", "cz"], num_params=0))
     print(f"Custom gate set: {custom.gate_names()}")
 
-    generator = RepGen(custom, num_qubits=2, num_params=0)
-    result = generator.generate(3)
-    ecc_set = prune_common_subcircuits(simplify_ecc_set(result.ecc_set))
+    # The facade takes gate-set *objects* too; generation, pruning and the
+    # persistent cache all work the same for user-defined sets.
+    facade = Superoptimizer(gate_set=custom, n=3, q=2, num_params=0)
+    result = facade.generate()
+    ecc_set = facade.ecc_set()
     print(
         f"Discovered {len(ecc_set)} equivalence classes "
         f"({ecc_set.num_transformations()} transformations) "

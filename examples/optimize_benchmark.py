@@ -10,11 +10,9 @@ Run with:  python examples/optimize_benchmark.py [circuit_name] [n]
 
 import sys
 
-from repro import benchmark_circuit
+from repro import Superoptimizer, benchmark_circuit
 from repro.baselines import BASELINES, run_baseline
-from repro.experiments.runner import quartz_optimize
 from repro.experiments.table_gate_counts import naive_transpile
-from repro.semantics.simulator import circuits_equivalent_numeric
 
 
 def main() -> None:
@@ -32,20 +30,21 @@ def main() -> None:
         optimized = run_baseline(baseline, original, "nam")
         print(f"{baseline + ' (baseline)':>22s}  {optimized.gate_count:>6d}")
 
-    preprocessed, optimized, result = quartz_optimize(
-        high_level, "nam", n=n, q=3, max_iterations=100, timeout_seconds=60
-    )
-    print(f"{'quartz preprocess':>22s}  {preprocessed.gate_count:>6d}")
-    print(f"{'quartz end-to-end':>22s}  {optimized.gate_count:>6d}")
+    report = Superoptimizer(
+        gate_set="nam", n=n, q=3, max_iterations=100, timeout_seconds=60
+    ).optimize(high_level)
+    print(f"{'quartz preprocess':>22s}  {report.preprocessed_circuit.gate_count:>6d}")
+    print(f"{'quartz end-to-end':>22s}  {report.circuit.gate_count:>6d}")
+    result = report.search_result
     print(
         f"\nsearch: {result.iterations} iterations, "
         f"{result.circuits_explored} circuits explored, "
         f"{result.time_seconds:.1f}s"
     )
 
-    if high_level.num_qubits <= 10:
-        assert circuits_equivalent_numeric(high_level, optimized)
-        print("numeric equivalence check: OK")
+    # The facade verified the output against the input already.
+    if report.verified is not None:
+        print(f"equivalence check: {'OK' if report.verified else 'FAILED'}")
 
 
 if __name__ == "__main__":

@@ -1,64 +1,56 @@
-"""Quickstart: generate transformations for a gate set and optimize a circuit.
+"""Quickstart: the `Superoptimizer` facade runs the whole Quartz pipeline.
 
-This walks the full Quartz pipeline of Figure 1 on a small example:
+One object composes the flow of Figure 1 — preprocess, (cached) RepGen ECC
+generation, pruning, transformation extraction, cost-based backtracking
+search, and a final equivalence verification — and returns a report with
+the optimized circuit, per-stage timings and provenance:
 
-1. generate a (3, 2)-complete ECC set for the Nam gate set with RepGen,
-2. prune it (ECC simplification + common-subcircuit pruning),
-3. turn it into transformations,
-4. optimize the four-Hadamard CNOT-flip circuit of Figure 3a with the
-   cost-based backtracking search,
-5. cross-check the result against the numeric simulator.
+1. configure a (3, 2)-complete Nam gate set run,
+2. optimize the four-Hadamard CNOT-flip circuit of Figure 3a,
+3. read everything off the RunReport,
+4. cross-check the result against the numeric simulator.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro import (
-    BacktrackingOptimizer,
-    Circuit,
-    RepGen,
-    get_gate_set,
-    prune_common_subcircuits,
-    simplify_ecc_set,
-    transformations_from_ecc_set,
-)
+from repro import Circuit, Superoptimizer
 from repro.semantics.simulator import circuits_equivalent_numeric
 
 
 def main() -> None:
-    # 1-2. Generate and prune an ECC set for the Nam gate set.
-    gate_set = get_gate_set("nam")
-    print(f"Generating a (3, 2)-complete ECC set for {gate_set.name} ...")
-    generator = RepGen(gate_set, num_qubits=2)
-    result = generator.generate(3)
-    ecc_set = prune_common_subcircuits(simplify_ecc_set(result.ecc_set))
-    print(
-        f"  examined {result.stats.circuits_considered} circuits, "
-        f"kept {len(ecc_set)} equivalence classes "
-        f"({ecc_set.num_transformations()} transformations) "
-        f"in {result.stats.total_time:.1f}s"
-    )
+    # 1. One facade object holds the whole configuration.  Nested config
+    #    fields can be passed flat: n/q go to the generation layer,
+    #    max_iterations to the search layer.
+    optimizer = Superoptimizer(gate_set="nam", n=3, q=2, max_iterations=100)
 
-    # 3. Expand the classes into explicit rewrite rules.
-    transformations = transformations_from_ecc_set(ecc_set)
-
-    # 4. Optimize the circuit of Figure 3a: H H CX H H == flipped CNOT.
+    # 2. Optimize the circuit of Figure 3a: H H CX H H == flipped CNOT.
     circuit = Circuit(2).h(0).h(1).cx(0, 1).h(0).h(1)
-    print("\nInput circuit:")
+    print("Input circuit:")
     print(circuit)
 
-    optimizer = BacktrackingOptimizer(transformations, gamma=1.0001)
-    optimized = optimizer.optimize(circuit, max_iterations=100)
+    report = optimizer.optimize(circuit)
 
+    # 3. The RunReport carries the result plus how it was produced.
     print("\nOptimized circuit:")
-    print(optimized.circuit)
+    print(report.circuit)
     print(
-        f"\nGate count {optimized.initial_cost:.0f} -> {optimized.final_cost:.0f} "
-        f"({optimized.reduction * 100:.0f}% reduction) "
-        f"after {optimized.iterations} search iterations"
+        f"\nGate count {report.initial_cost:.0f} -> {report.final_cost:.0f} "
+        f"({report.reduction * 100:.0f}% reduction) "
+        f"after {report.search_result.iterations} search iterations"
     )
+    print(
+        f"{report.num_transformations} transformations from "
+        f"{len(report.ecc_set)} equivalence classes "
+        f"(generation source: {report.provenance['generation_source']})"
+    )
+    print("Stage timings: " + ", ".join(
+        f"{name} {seconds:.2f}s" for name, seconds in report.stage_seconds.items()
+    ))
 
-    # 5. Independent numeric cross-check.
-    assert circuits_equivalent_numeric(circuit, optimized.circuit)
+    # 4. The facade already verified the output (report.verified); run the
+    #    independent numeric cross-check anyway to show it.
+    assert report.verified is True
+    assert circuits_equivalent_numeric(circuit, report.circuit)
     print("Numeric equivalence check: OK")
 
 

@@ -7,7 +7,18 @@ global phase, for all parameter values), *prunes* redundant ones, and then
 *optimizes* input circuits with a cost-based backtracking search over the
 verified transformations.
 
-Typical usage::
+Typical usage — the :class:`~repro.api.Superoptimizer` facade composes the
+whole pipeline (preprocess → cached ECC generation → transformation
+extraction → search → verification)::
+
+    from repro import Superoptimizer
+
+    report = Superoptimizer(gate_set="nam", n=3, q=3).optimize(my_circuit)
+    print(report.summary())
+    optimized = report.circuit
+
+The stages remain individually scriptable for callers that need to
+hand-wire them::
 
     from repro import (
         Circuit, get_gate_set, RepGen, simplify_ecc_set,
@@ -27,8 +38,10 @@ Typical usage::
     result = optimizer.optimize(circuit, max_iterations=100)
     print(result.initial_cost, "->", result.final_cost)
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-table-by-table reproduction results.
+See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+table-by-table reproduction results, and README.md ("Public API") for the
+facade, the simulator-backend and search-strategy registries, and the
+configuration precedence rules.
 """
 
 from repro.ir import (
@@ -67,8 +80,15 @@ from repro.preprocess import preprocess
 from repro.verifier import EquivalenceVerifier
 from repro.semantics import circuit_unitary, fingerprint
 from repro.benchmarks_suite import benchmark_circuit, benchmark_names
+from repro.api import (
+    GenerationConfig,
+    RunConfig,
+    RunReport,
+    SearchConfig,
+    Superoptimizer,
+)
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "Angle",
@@ -103,5 +123,10 @@ __all__ = [
     "fingerprint",
     "benchmark_circuit",
     "benchmark_names",
+    "GenerationConfig",
+    "RunConfig",
+    "RunReport",
+    "SearchConfig",
+    "Superoptimizer",
     "__version__",
 ]

@@ -1,0 +1,70 @@
+"""The public programmatic API: one facade over the whole pipeline.
+
+Quickstart::
+
+    from repro.api import Superoptimizer
+
+    report = Superoptimizer(gate_set="nam", n=3, q=3).optimize(my_circuit)
+    print(report.summary())
+    optimized = report.circuit
+
+Three pluggable seams sit underneath the facade:
+
+* **simulator backends** (:mod:`repro.semantics.backend`) — ``"numpy"``
+  (the reference) and ``"numba"`` (opt-in JIT kernel, present only when
+  numba is installed);
+* **search strategies** (:mod:`repro.optimizer.strategies`) —
+  ``"backtracking"`` (Algorithm 2), ``"greedy"`` and ``"beam"``;
+* **configuration** (:mod:`repro.api.config`) — frozen
+  ``RunConfig``/``GenerationConfig``/``SearchConfig`` dataclasses with a
+  single :meth:`RunConfig.from_env` path for every ``REPRO_*`` knob and
+  ``env < file < kwargs`` layering via :meth:`RunConfig.from_sources`.
+"""
+
+from repro.api.config import GenerationConfig, RunConfig, SearchConfig
+from repro.api.facade import (
+    GenerationOutcome,
+    RunReport,
+    Superoptimizer,
+    build_ecc_set,
+    clear_memory_caches,
+    generate_ecc_set,
+    run_generation,
+)
+from repro.optimizer.strategies import (
+    SearchStrategy,
+    available_strategies,
+    get_strategy,
+    register_strategy,
+)
+from repro.semantics.backend import (
+    BackendUnavailableError,
+    SimulatorBackend,
+    available_backends,
+    backend_available,
+    get_backend,
+    register_backend,
+)
+
+__all__ = [
+    "BackendUnavailableError",
+    "GenerationConfig",
+    "GenerationOutcome",
+    "RunConfig",
+    "RunReport",
+    "SearchConfig",
+    "SearchStrategy",
+    "SimulatorBackend",
+    "Superoptimizer",
+    "available_backends",
+    "available_strategies",
+    "backend_available",
+    "build_ecc_set",
+    "clear_memory_caches",
+    "generate_ecc_set",
+    "get_backend",
+    "get_strategy",
+    "register_backend",
+    "register_strategy",
+    "run_generation",
+]

@@ -1,0 +1,226 @@
+"""Frozen configuration objects for the public API.
+
+Three layers, composed into one :class:`RunConfig`:
+
+* :class:`GenerationConfig` — the RepGen scale (n, q), seed, worker pool
+  and persistent-cache knobs;
+* :class:`SearchConfig`     — which :mod:`search strategy
+  <repro.optimizer.strategies>` runs and its tuning (gamma, beam width,
+  budgets);
+* :class:`RunConfig`        — gate set, simulator backend, preprocessing
+  and output-verification toggles, plus the two layers above.
+
+All three are frozen dataclasses: a config never mutates after
+construction, so a :class:`~repro.api.facade.Superoptimizer` can be shared
+freely.  Derived configs are built with :meth:`RunConfig.with_overrides`,
+which also accepts the nested fields flat (``cfg.with_overrides(n=2,
+strategy="beam")``) since no field name is ambiguous.
+
+Precedence: ``RunConfig()`` is pure defaults; :meth:`RunConfig.from_env`
+snapshots every ``REPRO_*`` environment knob (the single place the public
+API reads them — parsing itself lives in :mod:`repro.envconfig`);
+:meth:`RunConfig.from_sources` layers ``env < file < kwargs``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Union
+
+from repro.envconfig import (
+    env_cache_dir,
+    env_cache_enabled,
+    env_scale,
+    env_workers_optional,
+)
+from repro.generator.repgen import DEFAULT_SEED
+from repro.ir.gatesets import GateSet
+
+
+@dataclass(frozen=True)
+class GenerationConfig:
+    """ECC-generation scale and infrastructure knobs.
+
+    ``workers``, ``cache_dir`` and ``cache_enabled`` default to ``None``,
+    meaning "resolve from the environment at run time" (the behaviour every
+    pre-facade entry point had); :meth:`RunConfig.from_env` snapshots them
+    into concrete values instead.
+    """
+
+    n: int = 3
+    q: int = 3
+    num_params: Optional[int] = None  # None: the gate set's configured m
+    seed: int = DEFAULT_SEED
+    workers: Optional[int] = None
+    cache_dir: Optional[str] = None
+    cache_enabled: Optional[bool] = None
+    prune: bool = True
+    verbose: bool = False
+
+
+@dataclass(frozen=True)
+class SearchConfig:
+    """Search-strategy selection and tuning.
+
+    ``strategy`` names an entry of the
+    :mod:`repro.optimizer.strategies` registry.  Fields that a strategy
+    does not understand are simply not passed to it (gamma and the queue
+    bounds go to ``"backtracking"``, ``beam_width`` to ``"beam"``, ...);
+    ``strategy_options`` adds strategy-specific extras verbatim.
+    """
+
+    strategy: str = "backtracking"
+    gamma: float = 1.0001
+    max_iterations: Optional[int] = 30
+    timeout_seconds: Optional[float] = 20.0
+    queue_capacity: int = 2000
+    queue_keep: int = 1000
+    max_matches_per_transformation: Optional[int] = 16
+    beam_width: int = 16
+    strategy_options: Mapping[str, Any] = field(default_factory=dict)
+
+    def options_for(self, strategy_name: Optional[str] = None) -> Dict[str, Any]:
+        """The factory kwargs for ``strategy_name`` (default: own strategy)."""
+        name = (strategy_name or self.strategy).lower()
+        options: Dict[str, Any] = {}
+        if name == "backtracking":
+            options.update(
+                gamma=self.gamma,
+                queue_capacity=self.queue_capacity,
+                queue_keep=self.queue_keep,
+                max_matches_per_transformation=self.max_matches_per_transformation,
+            )
+        elif name == "greedy":
+            options.update(
+                max_matches_per_transformation=self.max_matches_per_transformation,
+            )
+        elif name == "beam":
+            options.update(
+                beam_width=self.beam_width,
+                max_matches_per_transformation=self.max_matches_per_transformation,
+            )
+        options.update(self.strategy_options)
+        return options
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """The complete configuration of one :class:`~repro.api.Superoptimizer`."""
+
+    gate_set: Union[str, GateSet] = "nam"
+    backend: str = "numpy"
+    preprocess: bool = True
+    verify_output: bool = True
+    scale: Optional[str] = None  # informational: the REPRO_SCALE preset name
+    generation: GenerationConfig = field(default_factory=GenerationConfig)
+    search: SearchConfig = field(default_factory=SearchConfig)
+
+    @property
+    def gate_set_name(self) -> str:
+        gate_set = self.gate_set
+        return gate_set.name if isinstance(gate_set, GateSet) else str(gate_set)
+
+    # -- construction paths ---------------------------------------------------
+
+    @classmethod
+    def from_env(cls, **overrides) -> "RunConfig":
+        """Snapshot every ``REPRO_*`` knob into a concrete config.
+
+        This is the single environment-reading path of the public API:
+        ``REPRO_GEN_WORKERS`` (invalid/negative values warn and mean
+        serial), ``REPRO_CACHE_DIR``, ``REPRO_CACHE_DISABLE`` (only truthy
+        values disable) and ``REPRO_SCALE``.  ``overrides`` win over the
+        environment.
+        """
+        config = cls(
+            scale=env_scale(),
+            generation=GenerationConfig(
+                workers=env_workers_optional(),
+                cache_dir=env_cache_dir(),
+                cache_enabled=env_cache_enabled(),
+            ),
+        )
+        return config.with_overrides(**overrides) if overrides else config
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path], *, base: Optional["RunConfig"] = None) -> "RunConfig":
+        """Load a JSON config file on top of ``base`` (default: pure defaults).
+
+        The file holds a flat or nested mapping of config fields::
+
+            {"gate_set": "ibm", "backend": "numba",
+             "generation": {"n": 2, "workers": 4},
+             "search": {"strategy": "beam", "beam_width": 32}}
+        """
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        if not isinstance(data, dict):
+            raise ValueError(f"config file {path} must hold a JSON object")
+        return (base if base is not None else cls()).with_overrides(**data)
+
+    @classmethod
+    def from_sources(
+        cls, *, file: Union[str, Path, None] = None, **overrides
+    ) -> "RunConfig":
+        """Layer the three sources: environment < file < keyword overrides."""
+        config = cls.from_env()
+        if file is not None:
+            config = cls.from_file(file, base=config)
+        return config.with_overrides(**overrides) if overrides else config
+
+    # -- derivation -----------------------------------------------------------
+
+    def with_overrides(self, **overrides) -> "RunConfig":
+        """A copy with fields replaced; nested fields may be given flat.
+
+        ``generation`` / ``search`` accept either a config instance or a
+        mapping of that layer's fields; any other keyword is routed to the
+        layer that declares it (field names are globally unique).  Unknown
+        names raise ``TypeError``.
+        """
+        run_fields = {f.name for f in fields(RunConfig)} - {"generation", "search"}
+        gen_fields = {f.name for f in fields(GenerationConfig)}
+        search_fields = {f.name for f in fields(SearchConfig)}
+
+        run_kwargs: Dict[str, Any] = {}
+        gen_kwargs: Dict[str, Any] = {}
+        search_kwargs: Dict[str, Any] = {}
+        generation = self.generation
+        search = self.search
+        for name, value in overrides.items():
+            if name == "generation":
+                generation = (
+                    value
+                    if isinstance(value, GenerationConfig)
+                    else dataclasses.replace(generation, **dict(value))
+                )
+            elif name == "search":
+                search = (
+                    value
+                    if isinstance(value, SearchConfig)
+                    else dataclasses.replace(search, **dict(value))
+                )
+            elif name in run_fields:
+                run_kwargs[name] = value
+            elif name in gen_fields:
+                gen_kwargs[name] = value
+            elif name in search_fields:
+                search_kwargs[name] = value
+            else:
+                raise TypeError(f"unknown configuration field {name!r}")
+        if gen_kwargs:
+            generation = dataclasses.replace(generation, **gen_kwargs)
+        if search_kwargs:
+            search = dataclasses.replace(search, **search_kwargs)
+        return dataclasses.replace(
+            self, generation=generation, search=search, **run_kwargs
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-friendly view (gate-set objects collapse to their name)."""
+        out = dataclasses.asdict(self)
+        out["gate_set"] = self.gate_set_name
+        out["search"]["strategy_options"] = dict(self.search.strategy_options)
+        return out

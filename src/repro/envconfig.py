@@ -1,0 +1,122 @@
+"""Centralized parsing of the ``REPRO_*`` environment knobs.
+
+Every environment variable the library reads is named and parsed here, so
+the semantics of a knob cannot drift between call sites:
+
+* ``REPRO_GEN_WORKERS``   — fingerprint worker processes per RepGen run
+  (non-integers and negatives warn and fall back to serial);
+* ``REPRO_CACHE_DIR``     — persistent ECC cache directory;
+* ``REPRO_CACHE_DISABLE`` — boolean flag; **only truthy values disable**
+  the cache, so ``REPRO_CACHE_DISABLE=0`` / ``=false`` / ``=off`` mean
+  the cache stays *enabled* (and ``TRUE``/``Yes`` case-insensitively
+  disable it);
+* ``REPRO_SCALE``         — experiment scale preset name.
+
+The public configuration face of these knobs is
+:meth:`repro.api.RunConfig.from_env`, which snapshots all of them at once;
+this low-level module exists so that :mod:`repro.generator.parallel` and
+:mod:`repro.generator.cache` can share the exact same parsing without
+importing the API package (which imports them).
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Optional
+
+WORKERS_ENV_VAR = "REPRO_GEN_WORKERS"
+CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
+CACHE_DISABLE_ENV_VAR = "REPRO_CACHE_DISABLE"
+SCALE_ENV_VAR = "REPRO_SCALE"
+
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Accepted spellings for boolean environment flags (case-insensitive).
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+_FALSY = frozenset({"0", "false", "no", "off", ""})
+
+
+def parse_bool(raw: str, *, default: bool = False, name: str = "") -> bool:
+    """Parse a boolean flag value; unknown spellings warn and use the default."""
+    value = raw.strip().lower()
+    if value in _TRUTHY:
+        return True
+    if value in _FALSY:
+        return False
+    warnings.warn(
+        f"unrecognized boolean value {raw!r}"
+        + (f" for {name}" if name else "")
+        + f"; using default {default}",
+        RuntimeWarning,
+        stacklevel=2,
+    )
+    return default
+
+
+def env_flag(name: str, *, default: bool = False) -> bool:
+    """Read a boolean environment flag (absent means the default)."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    return parse_bool(raw, default=default, name=name)
+
+
+def parse_workers(raw: str, *, source: str = WORKERS_ENV_VAR) -> int:
+    """Parse a worker count: invalid or negative values warn and mean serial."""
+    text = raw.strip()
+    try:
+        workers = int(text) if text else 1
+    except ValueError:
+        warnings.warn(
+            f"ignoring non-integer {source}={raw!r}; running serially",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return 1
+    if workers < 0:
+        warnings.warn(
+            f"ignoring negative {source}={raw!r}; running serially",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return 1
+    return max(workers, 1)
+
+
+def env_workers(*, default: int = 1) -> int:
+    """Worker count from ``REPRO_GEN_WORKERS`` (absent means the default)."""
+    raw = os.environ.get(WORKERS_ENV_VAR)
+    if raw is None:
+        return default
+    return parse_workers(raw)
+
+
+def env_workers_optional() -> Optional[int]:
+    """Worker count from the environment, or None when the knob is unset."""
+    raw = os.environ.get(WORKERS_ENV_VAR)
+    if raw is None:
+        return None
+    return parse_workers(raw)
+
+
+def env_cache_dir(*, default: str = DEFAULT_CACHE_DIR) -> str:
+    """Cache directory from ``REPRO_CACHE_DIR``."""
+    return os.environ.get(CACHE_DIR_ENV_VAR, default)
+
+
+def env_cache_enabled(*, default: bool = True) -> bool:
+    """Whether the persistent cache is enabled (``REPRO_CACHE_DISABLE`` inverted).
+
+    Only truthy values disable: ``REPRO_CACHE_DISABLE=0`` and ``=false``
+    leave the cache enabled, matching what the flag's name promises.
+    """
+    raw = os.environ.get(CACHE_DISABLE_ENV_VAR)
+    if raw is None:
+        return default
+    return not parse_bool(raw, default=not default, name=CACHE_DISABLE_ENV_VAR)
+
+
+def env_scale(*, default: str = "quick") -> str:
+    """Experiment scale preset name from ``REPRO_SCALE``."""
+    return os.environ.get(SCALE_ENV_VAR, default).strip().lower() or default

@@ -1,10 +1,12 @@
-"""Command-line front end for the experiment drivers.
+"""Command-line front end for the experiment drivers, built on the facade.
 
 Runs the generation-centric experiments with the scale-out knobs exposed::
 
     python -m repro.experiments.cli generate --gate-set nam --n 3 --q 3
     python -m repro.experiments.cli generator-metrics --gate-set nam --n 1 2 3
-    python -m repro.experiments.cli optimize --gate-set nam --circuit tof_3
+    python -m repro.experiments.cli optimize --gate-set nam --circuit tof_3 \
+        --strategy beam --backend numpy
+    python -m repro.experiments.cli registry
 
 Shared flags:
 
@@ -13,6 +15,10 @@ Shared flags:
 * ``--cache-dir DIR``— persistent ECC cache location (default
   ``REPRO_CACHE_DIR`` or ``.repro_cache/``);
 * ``--no-cache``     — neither read nor write the persistent cache.
+
+The ``optimize`` subcommand is a thin shell around
+:class:`repro.api.Superoptimizer`; its JSON output is the facade's
+:meth:`~repro.api.RunReport.as_dict`.
 """
 
 from __future__ import annotations
@@ -23,8 +29,11 @@ import os
 import sys
 from typing import Optional, Sequence
 
-from repro.generator.cache import CACHE_DIR_ENV_VAR, CACHE_DISABLE_ENV_VAR
-from repro.generator.parallel import WORKERS_ENV_VAR
+from repro.envconfig import (
+    CACHE_DIR_ENV_VAR,
+    CACHE_DISABLE_ENV_VAR,
+    WORKERS_ENV_VAR,
+)
 
 
 def _add_shared_flags(parser: argparse.ArgumentParser) -> None:
@@ -111,36 +120,64 @@ def _cmd_generator_metrics(args: argparse.Namespace) -> int:
 
 
 def _cmd_optimize(args: argparse.Namespace) -> int:
+    from repro.api import RunConfig, Superoptimizer
     from repro.benchmarks_suite import benchmark_circuit
-    from repro.experiments.runner import quartz_optimize
 
     circuit = benchmark_circuit(args.circuit)
-    preprocessed, optimized, result = quartz_optimize(
-        circuit,
-        args.gate_set,
-        n=args.n,
-        q=args.q,
-        max_iterations=args.max_iterations,
-        timeout_seconds=args.timeout,
+    # Only flags the user actually passed override the from_env snapshot
+    # (the mapping form of with_overrides merges into the nested layer;
+    # note _apply_shared_flags already exported the shared flags to the
+    # environment before this snapshot, so either path agrees).
+    generation_overrides = {"n": args.n, "q": args.q}
+    if args.workers is not None:
+        generation_overrides["workers"] = args.workers
+    if args.cache_dir is not None:
+        generation_overrides["cache_dir"] = args.cache_dir
+    if args.no_cache:
+        generation_overrides["cache_enabled"] = False
+    config = RunConfig.from_env().with_overrides(
+        gate_set=args.gate_set,
+        backend=args.backend,
+        generation=generation_overrides,
+        search={
+            "strategy": args.strategy,
+            "max_iterations": args.max_iterations,
+            "timeout_seconds": args.timeout,
+        },
     )
+    report = Superoptimizer(config).optimize(circuit)
+    if args.json:
+        payload = dict(report.as_dict(), circuit=args.circuit)
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        print(f"[optimize] {args.circuit} on {args.gate_set}:")
+        print(report.summary())
+    return 0 if report.verified is not False else 1
+
+
+def _cmd_registry(args: argparse.Namespace) -> int:
+    """List the pluggable backends and strategies this build offers."""
+    from repro.api import available_strategies, backend_available
+    from repro.semantics.backend import registered_backends
+
+    backends = {
+        name: backend_available(name) for name in registered_backends()
+    }
     payload = {
-        "circuit": args.circuit,
-        "original_gates": circuit.gate_count,
-        "preprocessed_gates": preprocessed.gate_count,
-        "optimized_gates": optimized.gate_count,
-        "timed_out": result.timed_out,
-        "time_seconds": result.time_seconds,
+        "backends": backends,
+        "strategies": available_strategies(),
     }
     if args.json:
         json.dump(payload, sys.stdout, indent=2, sort_keys=True)
         print()
     else:
-        print(
-            f"[optimize] {args.circuit} on {args.gate_set}: "
-            f"{circuit.gate_count} -> {preprocessed.gate_count} (preprocess) "
-            f"-> {optimized.gate_count} (search, {result.time_seconds:.2f}s"
-            f"{', timed out' if result.timed_out else ''})"
-        )
+        print("simulator backends:")
+        for name, available in sorted(backends.items()):
+            print(f"  {name:<14s} {'available' if available else 'unavailable'}")
+        print("search strategies:")
+        for name in payload["strategies"]:
+            print(f"  {name}")
     return 0
 
 
@@ -167,7 +204,7 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.set_defaults(func=_cmd_generator_metrics)
 
     optimize = sub.add_parser(
-        "optimize", help="preprocess + backtracking search on one benchmark"
+        "optimize", help="preprocess + search on one benchmark (facade-backed)"
     )
     _add_shared_flags(optimize)
     optimize.add_argument("--circuit", default="tof_3")
@@ -175,14 +212,31 @@ def build_parser() -> argparse.ArgumentParser:
     optimize.add_argument("--q", type=int, default=3)
     optimize.add_argument("--max-iterations", type=int, default=30)
     optimize.add_argument("--timeout", type=float, default=20.0)
+    optimize.add_argument(
+        "--strategy",
+        default="backtracking",
+        help="search strategy (backtracking, greedy, beam, ...)",
+    )
+    optimize.add_argument(
+        "--backend",
+        default="numpy",
+        help="simulator backend (numpy; numba when installed)",
+    )
     optimize.set_defaults(func=_cmd_optimize)
+
+    registry = sub.add_parser(
+        "registry", help="list available simulator backends and search strategies"
+    )
+    registry.add_argument("--json", action="store_true")
+    registry.set_defaults(func=_cmd_registry)
 
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    _apply_shared_flags(args)
+    if hasattr(args, "workers"):
+        _apply_shared_flags(args)
     return args.func(args)
 
 

@@ -9,9 +9,10 @@ be overridden with the ``REPRO_SCALE`` environment variable.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
+
+from repro.envconfig import env_scale
 
 
 @dataclass
@@ -80,8 +81,12 @@ SCALES: Dict[str, ExperimentConfig] = {
 
 
 def active_config() -> ExperimentConfig:
-    """The preset selected by REPRO_SCALE (default: quick)."""
-    name = os.environ.get("REPRO_SCALE", "quick").lower()
+    """The preset selected by REPRO_SCALE (default: quick).
+
+    The environment read goes through :mod:`repro.envconfig` like every
+    other ``REPRO_*`` knob.
+    """
+    name = env_scale()
     config = SCALES.get(name, QUICK)
     if name == "full" and not config.circuits:
         from repro.benchmarks_suite import benchmark_names

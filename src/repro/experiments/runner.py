@@ -1,46 +1,57 @@
-"""Shared machinery for the experiment harnesses.
+"""Shared machinery for the experiment harnesses — now facade-backed.
 
-Generating an (n, q)-complete ECC set is the expensive step every experiment
-shares, so this module memoizes generated sets in memory and persists them
-through the content-hash-keyed ``.repro_cache/`` store
-(:mod:`repro.generator.cache`); reruns of the same configuration skip
-generation entirely.  It also provides the standard "preprocess, then
-search" end-to-end optimization used by the gate-count tables.
+The experiment drivers predate the public API package; their entry points
+(``build_ecc_set``, ``run_generator``, ``quartz_optimize``) are kept with
+their original signatures but are thin wrappers over
+:mod:`repro.api.facade`, which owns the in-memory memoization, the
+persistent ``.repro_cache/`` store and the end-to-end pipeline.  New code
+should use :class:`repro.api.Superoptimizer` directly.
 
 Knobs (all also exposed by ``python -m repro.experiments.cli``):
 
 * ``REPRO_CACHE_DIR`` — cache directory (default ``.repro_cache/``);
-* ``REPRO_CACHE_DISABLE=1`` — ignore the disk cache entirely;
+* ``REPRO_CACHE_DISABLE=1`` — ignore the disk cache entirely
+  (``0``/``false`` keep it enabled);
 * ``REPRO_GEN_WORKERS`` — fingerprint worker processes per RepGen run.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
-from repro.generator import RepGen, GeneratorResult
-from repro.generator.cache import ECCCache, cache_key
-from repro.generator.repgen import DEFAULT_SEED
+from repro.api import GenerationConfig, RunConfig, SearchConfig, Superoptimizer
+from repro.api import facade as _facade
+from repro.generator import GeneratorResult
 from repro.generator.ecc import ECCSet
-from repro.generator.pruning import prune_common_subcircuits, simplify_ecc_set
 from repro.ir.circuit import Circuit
-from repro.ir.gatesets import get_gate_set
-from repro.optimizer import (
-    BacktrackingOptimizer,
-    OptimizationResult,
-    Transformation,
-    transformations_from_ecc_set,
-)
-from repro.preprocess import preprocess
-
-_ECC_CACHE: Dict[Tuple[str, int, int], ECCSet] = {}
-_GENERATOR_CACHE: Dict[Tuple[str, int, int], GeneratorResult] = {}
+from repro.optimizer import OptimizationResult, Transformation, transformations_from_ecc_set
 
 
 def clear_memory_caches() -> None:
     """Drop the in-process memoization (the disk cache is untouched)."""
-    _ECC_CACHE.clear()
-    _GENERATOR_CACHE.clear()
+    _facade.clear_memory_caches()
+
+
+def _generation_config(
+    n: int,
+    q: int,
+    *,
+    use_disk_cache: bool = True,
+    workers: Optional[int] = None,
+    prune: bool = True,
+    verbose: bool = False,
+) -> GenerationConfig:
+    return GenerationConfig(
+        n=n,
+        q=q,
+        workers=workers,
+        # None defers to the REPRO_CACHE_* environment at run time, which
+        # is what these legacy entry points always did; False means
+        # "neither read nor write" (the --no-cache path).
+        cache_enabled=None if use_disk_cache else False,
+        prune=prune,
+        verbose=verbose,
+    )
 
 
 def build_ecc_set(
@@ -54,35 +65,17 @@ def build_ecc_set(
     verbose: bool = False,
 ) -> ECCSet:
     """Generate (or load from cache) the pruned (n, q)-complete ECC set."""
-    key = (gate_set_name.lower(), n, q)
-    if prune and key in _ECC_CACHE:
-        return _ECC_CACHE[key]
-
-    gate_set = get_gate_set(gate_set_name)
-    disk_cache = ECCCache(enabled=None if use_disk_cache else False)
-    if prune:
-        pruned_key = cache_key(
-            "pruned", gate_set, n, q, gate_set.num_params, DEFAULT_SEED
-        )
-        cached = disk_cache.load_ecc_set(pruned_key)
-        if cached is not None:
-            _ECC_CACHE[key] = cached
-            return cached
-
-    result = run_generator(
+    return _facade.build_ecc_set(
         gate_set_name,
-        n,
-        q,
-        verbose=verbose,
-        use_disk_cache=use_disk_cache,
-        workers=workers,
+        _generation_config(
+            n,
+            q,
+            use_disk_cache=use_disk_cache,
+            workers=workers,
+            prune=prune,
+            verbose=verbose,
+        ),
     )
-    ecc_set = result.ecc_set
-    if prune:
-        ecc_set = prune_common_subcircuits(simplify_ecc_set(ecc_set))
-        disk_cache.store_ecc_set(pruned_key, ecc_set)
-        _ECC_CACHE[key] = ecc_set
-    return ecc_set
 
 
 def run_generator(
@@ -95,17 +88,12 @@ def run_generator(
     workers: Optional[int] = None,
 ) -> GeneratorResult:
     """Run RepGen (memoized in memory and on disk) and return the result."""
-    key = (gate_set_name.lower(), n, q)
-    if key not in _GENERATOR_CACHE:
-        gate_set = get_gate_set(gate_set_name)
-        generator = RepGen(gate_set, num_qubits=q, workers=workers)
-        disk_cache = (
-            ECCCache(perf=generator.perf) if use_disk_cache else None
-        )
-        _GENERATOR_CACHE[key] = generator.generate(
-            n, verbose=verbose, cache=disk_cache
-        )
-    return _GENERATOR_CACHE[key]
+    return _facade.run_generation(
+        gate_set_name,
+        _generation_config(
+            n, q, use_disk_cache=use_disk_cache, workers=workers, verbose=verbose
+        ),
+    )
 
 
 def build_transformations(gate_set_name: str, n: int, q: int) -> List[Transformation]:
@@ -129,12 +117,20 @@ def quartz_optimize(
     gate-count tables can report both the "Quartz Preprocess" and the
     "Quartz End-to-end" columns.
     """
-    preprocessed = preprocess(circuit, gate_set_name)
-    transformations = build_transformations(gate_set_name, n, q)
-    optimizer = BacktrackingOptimizer(transformations, gamma=gamma)
-    result = optimizer.optimize(
-        preprocessed,
-        max_iterations=max_iterations,
-        timeout_seconds=timeout_seconds,
+    optimizer = Superoptimizer(
+        RunConfig(
+            gate_set=gate_set_name,
+            # The pre-facade pipeline never verified the search output, and
+            # the table drivers discard the flag; keep this legacy wrapper
+            # cost-identical.
+            verify_output=False,
+            generation=GenerationConfig(n=n, q=q),
+            search=SearchConfig(
+                gamma=gamma,
+                max_iterations=max_iterations,
+                timeout_seconds=timeout_seconds,
+            ),
+        )
     )
-    return preprocessed, result.circuit, result
+    report = optimizer.optimize(circuit)
+    return report.preprocessed_circuit, report.circuit, report.search_result

@@ -41,17 +41,19 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional
 
+from repro.envconfig import (
+    CACHE_DIR_ENV_VAR,
+    CACHE_DISABLE_ENV_VAR,
+    DEFAULT_CACHE_DIR,
+    env_cache_dir,
+    env_cache_enabled,
+)
 from repro.generator.ecc import ECCSet, circuit_from_payload, circuit_to_payload
 from repro.ir.gatesets import GateSet
 from repro.perf import NULL_RECORDER, PerfRecorder
 
 #: Bump whenever the serialized payload or key derivation changes shape.
 SCHEMA_VERSION = 2
-
-CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
-CACHE_DISABLE_ENV_VAR = "REPRO_CACHE_DISABLE"
-
-DEFAULT_CACHE_DIR = ".repro_cache"
 
 
 @dataclass(frozen=True)
@@ -89,6 +91,19 @@ class CacheKey:
         )
 
 
+def backend_kind(base: str, backend: str) -> str:
+    """Cache ``kind`` namespacing a blob by simulator backend.
+
+    The reference ``"numpy"`` backend keeps the bare kind (so existing
+    blobs stay valid); any other backend gets its own namespace
+    (``repgen@numba``, ``pruned@numba``, ...), because its floating-point
+    arithmetic — and hence the fingerprint bucketing — may differ from the
+    reference backend's.  The single authority for this rule; both RepGen
+    and the facade derive their kinds here.
+    """
+    return base if backend == "numpy" else f"{base}@{backend}"
+
+
 def cache_key(
     kind: str, gate_set: GateSet, n: int, q: int, m: int, seed: int
 ) -> CacheKey:
@@ -121,14 +136,13 @@ class ECCCache:
         perf: Optional[PerfRecorder] = None,
     ) -> None:
         if directory is None:
-            directory = os.environ.get(CACHE_DIR_ENV_VAR, DEFAULT_CACHE_DIR)
+            directory = env_cache_dir()
         self.directory = Path(directory)
         if enabled is None:
-            enabled = os.environ.get(CACHE_DISABLE_ENV_VAR, "") not in (
-                "1",
-                "true",
-                "yes",
-            )
+            # REPRO_CACHE_DISABLE only disables on truthy values ("1",
+            # "true", "yes", "on", any case); "0"/"false"/"off" keep the
+            # cache enabled — see repro.envconfig.
+            enabled = env_cache_enabled()
         self.enabled = enabled
         self.perf = perf if perf is not None else NULL_RECORDER
 

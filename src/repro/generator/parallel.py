@@ -30,15 +30,19 @@ parallelism is an optimization, never a correctness dependency.
 from __future__ import annotations
 
 import multiprocessing
-import os
-import warnings
 from typing import List, Optional, Sequence, Tuple
 
+from repro.envconfig import WORKERS_ENV_VAR, env_workers
 from repro.ir.circuit import Circuit, Instruction
 from repro.semantics.fingerprint import FingerprintContext
 
-#: Environment variable naming the default worker count.
-WORKERS_ENV_VAR = "REPRO_GEN_WORKERS"
+__all__ = [
+    "WORKERS_ENV_VAR",
+    "MIN_PARALLEL_CANDIDATES",
+    "FingerprintJob",
+    "ParallelFingerprintPool",
+    "resolve_workers",
+]
 
 #: Rounds with fewer candidates than this run serially even when a pool is
 #: available: the per-candidate work is ~a few microseconds, so IPC would
@@ -50,18 +54,13 @@ FingerprintJob = Tuple[Circuit, Sequence[Instruction]]
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
-    """Resolve a worker count: explicit argument, else env var, else 1."""
+    """Resolve a worker count: explicit argument, else env var, else 1.
+
+    Environment parsing (invalid and negative values warn and mean serial)
+    lives in :mod:`repro.envconfig` so every knob is parsed one way.
+    """
     if workers is None:
-        raw = os.environ.get(WORKERS_ENV_VAR, "")
-        try:
-            workers = int(raw) if raw.strip() else 1
-        except ValueError:
-            warnings.warn(
-                f"ignoring non-integer {WORKERS_ENV_VAR}={raw!r}; running serially",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            workers = 1
+        return env_workers()
     return max(int(workers), 1)
 
 

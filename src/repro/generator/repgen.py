@@ -18,7 +18,7 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
-from repro.generator.cache import CacheKey, ECCCache, cache_key
+from repro.generator.cache import CacheKey, ECCCache, backend_kind, cache_key
 from repro.generator.ecc import ECC, ECCSet
 from repro.generator.parallel import (
     MIN_PARALLEL_CANDIDATES,
@@ -99,6 +99,11 @@ class RepGen:
             the fingerprint evaluation is parallel; bucket merging, ECC
             inserts and all verifier calls happen in the parent in
             enumeration order.
+        backend: simulator backend name for the fingerprint evaluation
+            (see :mod:`repro.semantics.backend`).  Non-default backends get
+            their own persistent-cache namespace, since their floating
+            point arithmetic — and hence the fingerprint bucketing — may
+            differ from the reference backend's.
     """
 
     def __init__(
@@ -110,6 +115,7 @@ class RepGen:
         verifier: Optional[EquivalenceVerifier] = None,
         seed: int = DEFAULT_SEED,
         workers: Optional[int] = None,
+        backend: str = "numpy",
     ) -> None:
         self.gate_set = gate_set
         self.num_qubits = num_qubits
@@ -118,15 +124,22 @@ class RepGen:
         self.num_params = gate_set.num_params if num_params is None else num_params
         self.param_spec = param_spec or ParamSpec(self.num_params)
         self.perf = PerfRecorder()
-        self.verifier = verifier or EquivalenceVerifier(self.num_params, perf=self.perf)
         self.fingerprints = FingerprintContext(
-            num_qubits, self.num_params, seed=seed, perf=self.perf
+            num_qubits, self.num_params, seed=seed, backend=backend, perf=self.perf
+        )
+        self.backend_name = self.fingerprints.backend_name
+        self.verifier = verifier or EquivalenceVerifier(
+            self.num_params, backend=self.backend_name, perf=self.perf
         )
         # Share the fingerprint context with the verifier: its numeric phase
         # screen then reuses the evolved states the generator already cached
         # for every candidate.  Only safe when the contexts would be
         # interchangeable anyway (same random inputs, same parameter count).
-        if self.verifier.seed == seed and self.verifier.num_params == self.num_params:
+        if (
+            self.verifier.seed == seed
+            and self.verifier.num_params == self.num_params
+            and getattr(self.verifier, "backend_name", "numpy") == self.backend_name
+        ):
             self.verifier.set_fingerprint_context(self.fingerprints)
 
     # -- single-gate extensions -------------------------------------------------
@@ -198,7 +211,7 @@ class RepGen:
 
     def _cache_key(self, max_gates: int) -> CacheKey:
         return cache_key(
-            "repgen",
+            backend_kind("repgen", self.backend_name),
             self.gate_set,
             max_gates,
             self.num_qubits,

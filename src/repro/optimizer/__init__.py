@@ -4,8 +4,18 @@ from repro.optimizer.cost import CostModel, GateCountCost, TwoQubitCountCost, TC
 from repro.optimizer.xfer import Transformation, transformations_from_ecc_set
 from repro.optimizer.matcher import PatternMatcher, Match
 from repro.optimizer.search import BacktrackingOptimizer, OptimizationResult, greedy_optimize
+from repro.optimizer.strategies import (
+    SearchStrategy,
+    available_strategies,
+    get_strategy,
+    register_strategy,
+)
 
 __all__ = [
+    "SearchStrategy",
+    "available_strategies",
+    "get_strategy",
+    "register_strategy",
     "CostModel",
     "GateCountCost",
     "TwoQubitCountCost",

@@ -209,13 +209,29 @@ def greedy_optimize(
 ) -> OptimizationResult:
     """Greedy search: only strictly cost-decreasing rewrites (gamma = 1).
 
-    This is the behaviour of rule-based optimizers and of Algorithm 2 with
-    gamma = 1; the gap between this and the backtracking search is the
-    subject of the Figure 6 example and part of the Figure 7/8 analysis.
+    .. deprecated:: 0.2
+        ``greedy_optimize`` is a thin shim over the ``"greedy"`` entry of
+        the strategy registry; use
+        ``repro.api.Superoptimizer(search=SearchConfig(strategy="greedy"))``
+        or ``repro.optimizer.strategies.get_strategy("greedy")`` instead.
+        The shim stays for one release of grace and returns exactly what it
+        always returned (Algorithm 2 with gamma = 1 and a small queue).
     """
-    optimizer = BacktrackingOptimizer(
-        transformations, cost_model, gamma=1.0, queue_capacity=64, queue_keep=32
+    import warnings
+
+    warnings.warn(
+        "greedy_optimize is deprecated; use repro.api.Superoptimizer with "
+        "SearchConfig(strategy='greedy'), or "
+        "repro.optimizer.strategies.get_strategy('greedy')",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    return optimizer.optimize(
-        circuit, timeout_seconds=timeout_seconds, max_iterations=max_iterations
+    from repro.optimizer.strategies import get_strategy
+
+    return get_strategy("greedy").run(
+        circuit,
+        transformations,
+        cost_model,
+        timeout_seconds=timeout_seconds,
+        max_iterations=max_iterations,
     )

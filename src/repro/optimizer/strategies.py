@@ -1,0 +1,292 @@
+"""Pluggable search strategies over verified transformations.
+
+The cost-based backtracking search of Algorithm 2 is one point in a design
+space: greedy rewriting (gamma = 1) and beam search are natural siblings
+that share all of the matcher/cost plumbing but explore differently.  This
+module abstracts that seam behind a :class:`SearchStrategy` protocol and a
+registry, so new scenarios plug in a strategy instead of forking
+``search.py``:
+
+* ``"backtracking"`` — :class:`~repro.optimizer.search.BacktrackingOptimizer`
+  (the paper's Algorithm 2; the default);
+* ``"greedy"``       — gamma = 1 with a small queue: only strictly
+  cost-decreasing rewrites (the behaviour of the legacy
+  :func:`~repro.optimizer.search.greedy_optimize`, which now routes here);
+* ``"beam"``         — fixed-width frontier: every iteration expands the
+  whole beam by every applicable transformation and keeps the cheapest
+  ``beam_width`` distinct successors, which tolerates cost-preserving moves
+  without an unbounded queue.
+
+Strategies are selected by name through
+:class:`repro.api.SearchConfig` (``strategy="beam"``) or obtained directly
+with :func:`get_strategy`.  All strategies return the same
+:class:`~repro.optimizer.search.OptimizationResult`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.circuit import Circuit
+from repro.optimizer.cost import CostModel, GateCountCost
+from repro.optimizer.matcher import PatternMatcher
+from repro.optimizer.search import BacktrackingOptimizer, OptimizationResult
+from repro.optimizer.xfer import Transformation
+from repro.perf import PerfRecorder
+
+
+class SearchStrategy:
+    """Base class for search strategies.
+
+    A strategy instance holds its tuning options (gamma, beam width, ...)
+    and is reusable across circuits; :meth:`run` receives the per-run
+    inputs.  ``name`` is the registry key and appears in run reports.
+    """
+
+    name: str = "abstract"
+
+    def run(
+        self,
+        circuit: Circuit,
+        transformations: Sequence[Transformation],
+        cost_model: Optional[CostModel] = None,
+        *,
+        timeout_seconds: Optional[float] = None,
+        max_iterations: Optional[int] = None,
+    ) -> OptimizationResult:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+class BacktrackingStrategy(SearchStrategy):
+    """Algorithm 2 (the default): cost-based backtracking search."""
+
+    name = "backtracking"
+
+    def __init__(
+        self,
+        *,
+        gamma: float = 1.0001,
+        queue_capacity: int = 2000,
+        queue_keep: int = 1000,
+        max_matches_per_transformation: Optional[int] = 16,
+    ) -> None:
+        self.gamma = gamma
+        self.queue_capacity = queue_capacity
+        self.queue_keep = queue_keep
+        self.max_matches_per_transformation = max_matches_per_transformation
+
+    def run(
+        self,
+        circuit,
+        transformations,
+        cost_model=None,
+        *,
+        timeout_seconds=None,
+        max_iterations=None,
+    ):
+        optimizer = BacktrackingOptimizer(
+            transformations,
+            cost_model,
+            gamma=self.gamma,
+            queue_capacity=self.queue_capacity,
+            queue_keep=self.queue_keep,
+            max_matches_per_transformation=self.max_matches_per_transformation,
+        )
+        return optimizer.optimize(
+            circuit,
+            timeout_seconds=timeout_seconds,
+            max_iterations=max_iterations,
+        )
+
+
+class GreedyStrategy(BacktrackingStrategy):
+    """Gamma = 1 with a small queue: only strictly cost-decreasing rewrites.
+
+    Identical configuration to the legacy :func:`greedy_optimize` helper,
+    so routing that helper through the registry changes nothing about its
+    results.
+    """
+
+    name = "greedy"
+
+    def __init__(self, *, max_matches_per_transformation: Optional[int] = 16) -> None:
+        super().__init__(
+            gamma=1.0,
+            queue_capacity=64,
+            queue_keep=32,
+            max_matches_per_transformation=max_matches_per_transformation,
+        )
+
+
+class BeamStrategy(SearchStrategy):
+    """Fixed-width frontier search sharing the matcher/cost plumbing.
+
+    Each iteration expands every beam member by every applicable
+    transformation (with the same gate-multiset prefilter the backtracking
+    search uses) and keeps the ``beam_width`` cheapest distinct successors.
+    Cost-preserving moves survive as long as they stay inside the beam, so
+    CNOT-flip style detours remain reachable with a frontier of bounded
+    width.
+
+    Dedup semantics: circuits that have ever been *admitted to the beam*
+    are never revisited (this is what guarantees termination when the
+    rewrite space is finite); successors that were generated but cut by the
+    width bound are only deduped within their own generation, so a later
+    beam can rediscover them when they become the gateway to an
+    improvement.
+    """
+
+    name = "beam"
+
+    def __init__(
+        self,
+        *,
+        beam_width: int = 16,
+        max_matches_per_transformation: Optional[int] = 16,
+    ) -> None:
+        if beam_width < 1:
+            raise ValueError("beam_width must be at least 1")
+        self.beam_width = beam_width
+        self.max_matches_per_transformation = max_matches_per_transformation
+
+    def run(
+        self,
+        circuit,
+        transformations,
+        cost_model=None,
+        *,
+        timeout_seconds=None,
+        max_iterations=None,
+    ):
+        start = time.perf_counter()
+        cost_model = cost_model or GateCountCost()
+        perf = PerfRecorder()
+        counter = itertools.count()
+
+        initial_cost = cost_model.cost(circuit)
+        best_circuit = circuit
+        best_cost = initial_cost
+        cost_trace: List[Tuple[float, float]] = [(0.0, best_cost)]
+
+        beam: List[Circuit] = [circuit]
+        admitted: set = {circuit.canonical_key()}
+        iterations = 0
+        explored = 1
+        timed_out = False
+        max_matches = self.max_matches_per_transformation
+
+        while beam:
+            elapsed = time.perf_counter() - start
+            if timeout_seconds is not None and elapsed > timeout_seconds:
+                timed_out = True
+                break
+            if max_iterations is not None and iterations >= max_iterations:
+                break
+            iterations += 1
+
+            successors: List[Tuple[float, int, tuple, Circuit]] = []
+            generation_seen: set = set()
+            for current in beam:
+                if timeout_seconds is not None and (
+                    time.perf_counter() - start > timeout_seconds
+                ):
+                    timed_out = True
+                    break
+                matcher = PatternMatcher(current, perf=perf)
+                perf.count("search.matchers_built")
+                for transformation in transformations:
+                    if not current.contains_gate_counts(
+                        transformation.source_gate_counts
+                    ):
+                        perf.count("search.transformations_skipped")
+                        continue
+                    perf.count("search.transformations_matched")
+                    for new_circuit in matcher.apply_all(
+                        transformation, max_matches=max_matches
+                    ):
+                        key = new_circuit.canonical_key()
+                        if key in admitted or key in generation_seen:
+                            perf.count("search.seen_rejects")
+                            continue
+                        generation_seen.add(key)
+                        new_cost = cost_model.cost(new_circuit)
+                        explored += 1
+                        successors.append(
+                            (new_cost, next(counter), key, new_circuit)
+                        )
+                        if new_cost < best_cost:
+                            best_cost = new_cost
+                            best_circuit = new_circuit
+                            cost_trace.append(
+                                (time.perf_counter() - start, best_cost)
+                            )
+            if timed_out or not successors:
+                break
+            selected = heapq.nsmallest(self.beam_width, successors)
+            beam = []
+            for _, _, key, selected_circuit in selected:
+                admitted.add(key)
+                beam.append(selected_circuit)
+            perf.count("search.beam_generations")
+
+        return OptimizationResult(
+            circuit=best_circuit,
+            initial_cost=initial_cost,
+            final_cost=best_cost,
+            iterations=iterations,
+            circuits_explored=explored,
+            time_seconds=time.perf_counter() - start,
+            timed_out=timed_out,
+            cost_trace=cost_trace,
+            perf=perf.snapshot(),
+        )
+
+
+# -- registry ----------------------------------------------------------------
+
+#: name -> factory taking the strategy's tuning options as keyword args.
+_FACTORIES: Dict[str, Callable[..., SearchStrategy]] = {}
+
+
+def register_strategy(
+    name: str, factory: Callable[..., SearchStrategy], *, replace: bool = False
+) -> None:
+    """Register a strategy factory under ``name``."""
+    key = name.lower()
+    if key in _FACTORIES and not replace:
+        raise ValueError(f"search strategy {name!r} is already registered")
+    _FACTORIES[key] = factory
+
+
+def get_strategy(name: str | SearchStrategy, **options) -> SearchStrategy:
+    """Build a strategy by name; ``options`` go to the strategy factory.
+
+    Unknown options are rejected by the factory's signature, so a typo in
+    e.g. ``beam_width`` fails loudly instead of being ignored.
+    """
+    if isinstance(name, SearchStrategy):
+        if options:
+            raise ValueError("options cannot be combined with a strategy instance")
+        return name
+    key = str(name).lower()
+    factory = _FACTORIES.get(key)
+    if factory is None:
+        known = ", ".join(sorted(_FACTORIES))
+        raise KeyError(f"unknown search strategy {name!r} (registered: {known})")
+    return factory(**options)
+
+
+def available_strategies() -> List[str]:
+    """All registered strategy names, sorted."""
+    return sorted(_FACTORIES)
+
+
+register_strategy("backtracking", BacktrackingStrategy)
+register_strategy("greedy", GreedyStrategy)
+register_strategy("beam", BeamStrategy)

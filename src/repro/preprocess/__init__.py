@@ -16,9 +16,10 @@ from repro.preprocess.transpile import (
     nam_to_rigetti,
     cancel_adjacent_inverses,
 )
-from repro.preprocess.pipeline import preprocess, QuartzPreprocessor
+from repro.preprocess.pipeline import preprocess, QuartzPreprocessor, SUPPORTED_GATE_SETS
 
 __all__ = [
+    "SUPPORTED_GATE_SETS",
     "merge_rotations",
     "decompose_toffolis",
     "clifford_t_to_nam",

@@ -27,6 +27,10 @@ from repro.preprocess.transpile import (
     nam_to_rigetti,
 )
 
+#: Gate sets the Nam et al. preprocessing passes can target.  The single
+#: authority — the facade and the preprocessor both consult this.
+SUPPORTED_GATE_SETS = ("nam", "ibm", "rigetti")
+
 
 @dataclass
 class QuartzPreprocessor:
@@ -45,7 +49,7 @@ class QuartzPreprocessor:
 
     def run(self, circuit: Circuit) -> Circuit:
         gate_set_name = self.gate_set_name.lower()
-        if gate_set_name not in ("nam", "ibm", "rigetti"):
+        if gate_set_name not in SUPPORTED_GATE_SETS:
             raise ValueError(f"unsupported target gate set {gate_set_name!r}")
 
         nam_circuit = self._to_nam(circuit)

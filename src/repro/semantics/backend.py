@@ -1,0 +1,215 @@
+"""Pluggable statevector-simulation backends.
+
+The fingerprint loop and the numeric screens spend essentially all of their
+time applying small gate matrices to statevectors.  This module abstracts
+that hot path behind a :class:`SimulatorBackend` protocol — ``apply_gate``,
+``apply_circuit``, ``circuit_unitary``, ``random_state`` — with a registry
+of interchangeable implementations:
+
+* ``"numpy"`` — the reference implementation (the exact code path the seed
+  revision used, so fingerprint hash keys stay bit-identical);
+* ``"numba"`` — an optional JIT-compiled gate-application kernel, available
+  only when the ``numba`` package is importable (see
+  :mod:`repro.semantics.numba_backend`).  It is a pure opt-in: nothing in
+  the library imports numba unless this backend is requested.
+
+Backends registered here are selected by name through
+:class:`repro.api.RunConfig` (``backend="numba"``) or passed directly to
+:class:`~repro.semantics.fingerprint.FingerprintContext`.
+
+The random inputs (``random_state``) are deliberately *not* backend
+specific: every backend inherits the numpy implementation so that all
+backends fingerprint against the same |psi0>, |psi1>.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.ir.circuit import Circuit
+from repro.semantics import simulator as _numpy_sim
+from repro.semantics.simulator import instruction_unitary, random_state
+
+#: The always-available reference backend.
+DEFAULT_BACKEND = "numpy"
+
+
+class BackendUnavailableError(RuntimeError):
+    """Raised when a registered backend's runtime dependency is missing."""
+
+
+class SimulatorBackend:
+    """Base class / protocol for statevector-simulation backends.
+
+    Subclasses must implement :meth:`apply_gate`; the circuit-level
+    operations have generic implementations in terms of it.  ``name`` is
+    the registry key and appears in fingerprint specs and run reports.
+    """
+
+    name: str = "abstract"
+
+    def apply_gate(
+        self,
+        state: np.ndarray,
+        matrix: np.ndarray,
+        qubits: Sequence[int],
+        num_qubits: int,
+    ) -> np.ndarray:
+        """Apply a small gate matrix to selected qubits of a statevector."""
+        raise NotImplementedError
+
+    def apply_circuit(
+        self,
+        circuit: Circuit,
+        state: np.ndarray,
+        param_values: Sequence[float] | Mapping[int, float] = (),
+    ) -> np.ndarray:
+        """Apply a circuit to a statevector gate by gate."""
+        num_qubits = circuit.num_qubits
+        if state.shape != (1 << num_qubits,):
+            raise ValueError("state dimension does not match circuit qubit count")
+        current = np.array(state, dtype=complex)
+        for inst in circuit.instructions:
+            gate_matrix = instruction_unitary(inst, param_values)
+            current = self.apply_gate(current, gate_matrix, inst.qubits, num_qubits)
+        return current
+
+    def circuit_unitary(
+        self,
+        circuit: Circuit,
+        param_values: Sequence[float] | Mapping[int, float] = (),
+    ) -> np.ndarray:
+        """Full unitary of a circuit, built by evolving every basis state."""
+        num_qubits = circuit.num_qubits
+        dim = 1 << num_qubits
+        unitary = np.empty((dim, dim), dtype=complex)
+        for column in range(dim):
+            basis = np.zeros(dim, dtype=complex)
+            basis[column] = 1.0
+            unitary[:, column] = self.apply_circuit(circuit, basis, param_values)
+        return unitary
+
+    def random_state(self, num_qubits: int, rng: np.random.Generator) -> np.ndarray:
+        """Haar-ish random state — shared across backends (see module doc)."""
+        return random_state(num_qubits, rng)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+class NumpyBackend(SimulatorBackend):
+    """The reference backend: vectorized numpy (bit-identical to the seed)."""
+
+    name = "numpy"
+
+    def apply_gate(self, state, matrix, qubits, num_qubits):
+        return _numpy_sim._apply_gate_to_state(state, matrix, qubits, num_qubits)
+
+    def apply_circuit(self, circuit, state, param_values=()):
+        return _numpy_sim.apply_circuit(circuit, state, param_values)
+
+    def circuit_unitary(self, circuit, param_values=()):
+        return _numpy_sim.circuit_unitary(circuit, param_values)
+
+
+# -- registry ----------------------------------------------------------------
+
+#: name -> zero-argument factory.  Factories may raise
+#: :class:`BackendUnavailableError` when their dependency is missing.
+_FACTORIES: Dict[str, Callable[[], SimulatorBackend]] = {}
+#: name -> instantiated backend (backends are stateless, so one each).
+_INSTANCES: Dict[str, SimulatorBackend] = {}
+
+
+def register_backend(
+    name: str, factory: Callable[[], SimulatorBackend], *, replace: bool = False
+) -> None:
+    """Register a backend factory under ``name``."""
+    key = name.lower()
+    if key in _FACTORIES and not replace:
+        raise ValueError(f"simulator backend {name!r} is already registered")
+    _FACTORIES[key] = factory
+    _INSTANCES.pop(key, None)
+
+
+def get_backend(name: str | SimulatorBackend = DEFAULT_BACKEND) -> SimulatorBackend:
+    """Resolve a backend by name (or pass an instance through unchanged)."""
+    if isinstance(name, SimulatorBackend):
+        return name
+    key = str(name).lower()
+    if key in _INSTANCES:
+        return _INSTANCES[key]
+    factory = _FACTORIES.get(key)
+    if factory is None:
+        known = ", ".join(sorted(_FACTORIES))
+        raise KeyError(f"unknown simulator backend {name!r} (registered: {known})")
+    backend = factory()
+    _INSTANCES[key] = backend
+    return backend
+
+
+def backend_available(name: str) -> bool:
+    """Whether ``name`` is registered and its dependencies are importable."""
+    try:
+        get_backend(name)
+    except (KeyError, BackendUnavailableError):
+        return False
+    return True
+
+
+def available_backends() -> List[str]:
+    """Registered backend names whose dependencies are present, sorted."""
+    return sorted(name for name in _FACTORIES if backend_available(name))
+
+
+def registered_backends() -> List[str]:
+    """All registered backend names, available or not, sorted."""
+    return sorted(_FACTORIES)
+
+
+def circuits_equivalent_statevector(
+    circuit_a: Circuit,
+    circuit_b: Circuit,
+    *,
+    backend: str | SimulatorBackend = DEFAULT_BACKEND,
+    num_trials: int = 2,
+    seed: int = 7,
+    tol: float = 1e-8,
+) -> bool:
+    """Random-state equivalence screen that scales linearly in the dimension.
+
+    Unlike :func:`repro.semantics.simulator.circuits_equivalent_numeric`
+    this never forms a full unitary: both circuits are applied to random
+    statevectors and the results compared up to a global phase via
+    ``| <a|b> | = 1`` (both are normalized images of the same unit vector),
+    so it stays cheap on wide circuits.  Used by the
+    :class:`repro.api.Superoptimizer` facade to sanity-check every
+    optimization output.
+    """
+    if circuit_a.num_qubits != circuit_b.num_qubits:
+        return False
+    resolved = get_backend(backend)
+    rng = np.random.default_rng(seed)
+    num_params = max(
+        [p + 1 for p in circuit_a.used_params() | circuit_b.used_params()] or [0]
+    )
+    for _ in range(num_trials):
+        params = list(rng.uniform(-np.pi, np.pi, size=max(num_params, 1)))
+        psi = resolved.random_state(circuit_a.num_qubits, rng)
+        image_a = resolved.apply_circuit(circuit_a, psi, params)
+        image_b = resolved.apply_circuit(circuit_b, psi, params)
+        if abs(abs(np.vdot(image_a, image_b)) - 1.0) > tol:
+            return False
+    return True
+
+
+def _make_numba_backend() -> SimulatorBackend:
+    from repro.semantics.numba_backend import NumbaBackend
+
+    return NumbaBackend()
+
+
+register_backend("numpy", NumpyBackend)
+register_backend("numba", _make_numba_backend)

@@ -37,12 +37,8 @@ import numpy as np
 
 from repro.ir.circuit import Circuit, Instruction
 from repro.perf import NULL_RECORDER, PerfRecorder
-from repro.semantics.simulator import (
-    _apply_gate_to_state,
-    apply_circuit,
-    instruction_unitary,
-    random_state,
-)
+from repro.semantics.backend import DEFAULT_BACKEND, SimulatorBackend, get_backend
+from repro.semantics.simulator import instruction_unitary, random_state
 
 DEFAULT_E_MAX = 1e-10
 
@@ -65,12 +61,18 @@ class FingerprintContext:
         *,
         state_cache_size: int = DEFAULT_STATE_CACHE_SIZE,
         cross_check_interval: int = DEFAULT_CROSS_CHECK_INTERVAL,
+        backend: str | SimulatorBackend = DEFAULT_BACKEND,
         perf: Optional[PerfRecorder] = None,
     ) -> None:
         self.num_qubits = num_qubits
         self.num_params = num_params
         self.seed = seed
         self.e_max = e_max
+        # The backend only changes *how* gates are applied; the random
+        # inputs below are always drawn by the reference implementation so
+        # every backend fingerprints against the same |psi0>, |psi1>.
+        self._backend = get_backend(backend)
+        self.backend_name = self._backend.name
         rng = np.random.default_rng(seed)
         self.param_values: list[float] = list(
             rng.uniform(-math.pi, math.pi, size=max(num_params, 1))
@@ -99,6 +101,7 @@ class FingerprintContext:
             "e_max": self.e_max,
             "state_cache_size": self.state_cache_size,
             "cross_check_interval": self.cross_check_interval,
+            "backend": self.backend_name,
         }
 
     @classmethod
@@ -110,6 +113,7 @@ class FingerprintContext:
             e_max=spec["e_max"],
             state_cache_size=spec["state_cache_size"],
             cross_check_interval=spec["cross_check_interval"],
+            backend=spec.get("backend", DEFAULT_BACKEND),
         )
 
     def __reduce__(self):
@@ -144,7 +148,7 @@ class FingerprintContext:
             self.perf.count("fingerprint.state_cache.hits")
             return state
         self.perf.count("fingerprint.state_cache.misses")
-        state = apply_circuit(circuit, self.psi1, self.param_values)
+        state = self._backend.apply_circuit(circuit, self.psi1, self.param_values)
         self._store_state(key, state)
         return state
 
@@ -203,7 +207,7 @@ class FingerprintContext:
         self.perf.count("fingerprint.incremental_evals")
         parent_state = self.evolved_state(parent)
         gate_matrix = instruction_unitary(inst, self.param_values)
-        state = _apply_gate_to_state(
+        state = self._backend.apply_gate(
             parent_state, gate_matrix, inst.qubits, self.num_qubits
         )
         key = parent.sequence_key() + (inst.sort_key(),)
@@ -236,7 +240,7 @@ class FingerprintContext:
     ) -> None:
         """Verify the incremental state against a from-scratch replay."""
         self.perf.count("fingerprint.cross_checks")
-        replayed = apply_circuit(
+        replayed = self._backend.apply_circuit(
             parent.appended(inst), self.psi1, self.param_values
         )
         if not np.array_equal(replayed, incremental_state):

@@ -1,0 +1,114 @@
+"""Optional numba-JIT gate-application backend (``backend="numba"``).
+
+The kernel iterates over the statevector with explicit bit arithmetic —
+the shape of loop numba compiles to tight machine code — instead of the
+reshape/moveaxis dance the numpy backend uses.  The module is written so
+that:
+
+* importing it **never requires numba**: the kernel below is plain Python
+  (numba-compatible subset), and :func:`apply_gate_reference` runs it
+  uncompiled so parity tests cover the kernel logic on every machine;
+* constructing :class:`NumbaBackend` probes for numba and raises
+  :class:`~repro.semantics.backend.BackendUnavailableError` with a clear
+  message when it is missing — callers opt in explicitly and nothing else
+  in the library touches numba.
+
+Bit convention (matching :mod:`repro.semantics.simulator`): qubit 0 is the
+*most significant* bit of the computational-basis index, so qubit ``q``
+lives at bit position ``num_qubits - 1 - q``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.semantics.backend import BackendUnavailableError, SimulatorBackend
+
+
+def _apply_gate_kernel(
+    state: np.ndarray, matrix: np.ndarray, shifts: np.ndarray
+) -> np.ndarray:
+    """Apply a ``2^k x 2^k`` gate at bit positions ``shifts`` (numba-compatible).
+
+    ``shifts[i]`` is the bit position of the gate's i-th operand qubit.  For
+    every global index the local row is gathered from the target bits, and
+    the output amplitude is the matrix row dotted with the amplitudes at the
+    indices obtained by substituting every local column into those bits.
+    """
+    num_targets = shifts.shape[0]
+    dim = state.shape[0]
+    block = 1 << num_targets
+    out = np.empty_like(state)
+    for index in range(dim):
+        row = 0
+        for i in range(num_targets):
+            row = (row << 1) | ((index >> shifts[i]) & 1)
+        acc = complex(0.0, 0.0)
+        for col in range(block):
+            j = index
+            for i in range(num_targets):
+                bit = (col >> (num_targets - 1 - i)) & 1
+                j = (j & ~(1 << shifts[i])) | (bit << shifts[i])
+            acc = acc + matrix[row, col] * state[j]
+        out[index] = acc
+    return out
+
+
+def _shifts_for(qubits: Sequence[int], num_qubits: int) -> np.ndarray:
+    return np.array([num_qubits - 1 - q for q in qubits], dtype=np.int64)
+
+
+def apply_gate_reference(
+    state: np.ndarray, matrix: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Run the (uncompiled) kernel — the parity-test oracle for the backend."""
+    return _apply_gate_kernel(
+        np.asarray(state, dtype=np.complex128),
+        np.asarray(matrix, dtype=np.complex128),
+        _shifts_for(qubits, num_qubits),
+    )
+
+
+def numba_available() -> bool:
+    """Feature probe: can the numba backend be constructed here?"""
+    try:
+        import numba  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+_COMPILED_KERNEL = None
+
+
+def _compiled_kernel():
+    """JIT-compile the kernel once per process (requires numba)."""
+    global _COMPILED_KERNEL
+    if _COMPILED_KERNEL is None:
+        import numba
+
+        _COMPILED_KERNEL = numba.njit(cache=False)(_apply_gate_kernel)
+    return _COMPILED_KERNEL
+
+
+class NumbaBackend(SimulatorBackend):
+    """JIT-compiled gate application; construction fails without numba."""
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        if not numba_available():
+            raise BackendUnavailableError(
+                "the 'numba' simulator backend needs the numba package; "
+                "install it or use the default 'numpy' backend"
+            )
+        self._kernel = _compiled_kernel()
+
+    def apply_gate(self, state, matrix, qubits, num_qubits):
+        return self._kernel(
+            np.ascontiguousarray(state, dtype=np.complex128),
+            np.ascontiguousarray(matrix, dtype=np.complex128),
+            _shifts_for(qubits, num_qubits),
+        )

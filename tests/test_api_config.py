@@ -1,0 +1,140 @@
+"""Tests for the frozen RunConfig/GenerationConfig/SearchConfig layer."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.api import GenerationConfig, RunConfig, SearchConfig
+from repro.envconfig import (
+    CACHE_DIR_ENV_VAR,
+    CACHE_DISABLE_ENV_VAR,
+    SCALE_ENV_VAR,
+    WORKERS_ENV_VAR,
+)
+
+
+class TestFrozen:
+    def test_all_layers_are_frozen(self):
+        config = RunConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.gate_set = "ibm"
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.generation.n = 5
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.search.gamma = 2.0
+
+
+class TestFromEnv:
+    def test_snapshots_every_knob(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "4")
+        monkeypatch.setenv(CACHE_DIR_ENV_VAR, str(tmp_path))
+        monkeypatch.setenv(CACHE_DISABLE_ENV_VAR, "false")
+        monkeypatch.setenv(SCALE_ENV_VAR, "medium")
+        config = RunConfig.from_env()
+        assert config.generation.workers == 4
+        assert config.generation.cache_dir == str(tmp_path)
+        assert config.generation.cache_enabled is True
+        assert config.scale == "medium"
+
+    def test_disable_flag_zero_means_enabled(self, monkeypatch):
+        monkeypatch.setenv(CACHE_DISABLE_ENV_VAR, "0")
+        assert RunConfig.from_env().generation.cache_enabled is True
+        monkeypatch.setenv(CACHE_DISABLE_ENV_VAR, "1")
+        assert RunConfig.from_env().generation.cache_enabled is False
+
+    def test_invalid_workers_warn_and_mean_serial(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "-3")
+        with pytest.warns(RuntimeWarning, match="negative"):
+            config = RunConfig.from_env()
+        assert config.generation.workers == 1
+
+    def test_overrides_win_over_env(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "4")
+        config = RunConfig.from_env(workers=2, gate_set="ibm")
+        assert config.generation.workers == 2
+        assert config.gate_set == "ibm"
+
+
+class TestOverrides:
+    def test_flat_routing_to_nested_layers(self):
+        config = RunConfig().with_overrides(
+            n=2, q=2, strategy="beam", beam_width=8, backend="numpy"
+        )
+        assert config.generation.n == 2
+        assert config.generation.q == 2
+        assert config.search.strategy == "beam"
+        assert config.search.beam_width == 8
+        assert config.backend == "numpy"
+
+    def test_nested_mappings_and_instances(self):
+        config = RunConfig().with_overrides(
+            generation={"n": 1}, search=SearchConfig(strategy="greedy")
+        )
+        assert config.generation.n == 1
+        assert config.search.strategy == "greedy"
+        replaced = config.with_overrides(generation=GenerationConfig(n=4))
+        assert replaced.generation.n == 4
+
+    def test_unknown_field_raises(self):
+        with pytest.raises(TypeError, match="unknown configuration field"):
+            RunConfig().with_overrides(frobnicate=1)
+
+    def test_original_is_untouched(self):
+        base = RunConfig()
+        base.with_overrides(n=7)
+        assert base.generation.n == 3
+
+
+class TestSources:
+    def test_precedence_env_file_kwargs(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "4")
+        monkeypatch.setenv(SCALE_ENV_VAR, "quick")
+        config_file = tmp_path / "config.json"
+        config_file.write_text(
+            json.dumps(
+                {
+                    "gate_set": "ibm",
+                    "generation": {"workers": 2, "n": 2},
+                    "search": {"strategy": "beam"},
+                }
+            )
+        )
+        config = RunConfig.from_sources(file=config_file, gate_set="rigetti")
+        # env set workers=4, the file overrode it to 2, kwargs overrode
+        # the file's gate set.
+        assert config.generation.workers == 2
+        assert config.generation.n == 2
+        assert config.search.strategy == "beam"
+        assert config.gate_set == "rigetti"
+        assert config.scale == "quick"
+
+    def test_from_file_rejects_non_object(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ValueError, match="JSON object"):
+            RunConfig.from_file(path)
+
+
+class TestStrategyOptions:
+    def test_options_per_builtin_strategy(self):
+        search = SearchConfig(gamma=1.5, beam_width=9, queue_capacity=10)
+        assert search.options_for("backtracking")["gamma"] == 1.5
+        assert search.options_for("backtracking")["queue_capacity"] == 10
+        assert "gamma" not in search.options_for("beam")
+        assert search.options_for("beam")["beam_width"] == 9
+        assert set(search.options_for("greedy")) == {
+            "max_matches_per_transformation"
+        }
+
+    def test_strategy_options_extend_and_override(self):
+        search = SearchConfig(strategy="beam", strategy_options={"beam_width": 3})
+        assert search.options_for()["beam_width"] == 3
+
+    def test_as_dict_is_json_friendly(self):
+        payload = RunConfig(gate_set="nam").as_dict()
+        json.dumps(payload)
+        assert payload["gate_set"] == "nam"
+        assert payload["generation"]["n"] == 3

@@ -1,0 +1,103 @@
+"""Unit tests for the centralized REPRO_* environment parsing.
+
+Every knob has its edge cases pinned here: invalid and negative worker
+counts fall back to serial with a warning, and ``REPRO_CACHE_DISABLE``
+only disables on truthy values — ``0``/``false``/``off`` keep the cache
+*enabled* (case-insensitively), which is what the flag's name promises.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro import envconfig
+from repro.envconfig import (
+    CACHE_DIR_ENV_VAR,
+    CACHE_DISABLE_ENV_VAR,
+    SCALE_ENV_VAR,
+    WORKERS_ENV_VAR,
+)
+from repro.generator.cache import ECCCache
+from repro.generator.parallel import resolve_workers
+
+
+class TestWorkers:
+    def test_unset_means_serial(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV_VAR, raising=False)
+        assert envconfig.env_workers() == 1
+        assert envconfig.env_workers_optional() is None
+        assert resolve_workers() == 1
+
+    @pytest.mark.parametrize("raw,expected", [("1", 1), ("2", 2), ("8", 8)])
+    def test_valid_values(self, monkeypatch, raw, expected):
+        monkeypatch.setenv(WORKERS_ENV_VAR, raw)
+        assert envconfig.env_workers() == expected
+        assert resolve_workers() == expected
+
+    @pytest.mark.parametrize("raw", ["nope", "2.5", "two", "1e3"])
+    def test_invalid_values_warn_and_mean_serial(self, monkeypatch, raw):
+        monkeypatch.setenv(WORKERS_ENV_VAR, raw)
+        with pytest.warns(RuntimeWarning, match="non-integer"):
+            assert envconfig.env_workers() == 1
+
+    @pytest.mark.parametrize("raw", ["-1", "-16"])
+    def test_negative_values_warn_and_mean_serial(self, monkeypatch, raw):
+        monkeypatch.setenv(WORKERS_ENV_VAR, raw)
+        with pytest.warns(RuntimeWarning, match="negative"):
+            assert envconfig.env_workers() == 1
+
+    def test_zero_means_serial_without_warning(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "0")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert envconfig.env_workers() == 1
+
+    def test_whitespace_only_means_serial(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "   ")
+        assert envconfig.env_workers() == 1
+
+    def test_explicit_argument_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "7")
+        assert resolve_workers(3) == 3
+
+
+class TestCacheDisable:
+    @pytest.mark.parametrize("raw", ["0", "false", "False", "FALSE", "no", "off", ""])
+    def test_falsy_values_keep_the_cache_enabled(self, monkeypatch, raw):
+        monkeypatch.setenv(CACHE_DISABLE_ENV_VAR, raw)
+        assert envconfig.env_cache_enabled() is True
+        assert ECCCache().enabled is True
+
+    @pytest.mark.parametrize("raw", ["1", "true", "True", "TRUE", "yes", "Yes", "on", "ON"])
+    def test_truthy_values_disable(self, monkeypatch, raw):
+        monkeypatch.setenv(CACHE_DISABLE_ENV_VAR, raw)
+        assert envconfig.env_cache_enabled() is False
+        assert ECCCache().enabled is False
+
+    def test_unset_means_enabled(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DISABLE_ENV_VAR, raising=False)
+        assert envconfig.env_cache_enabled() is True
+
+    def test_unrecognized_value_warns_and_keeps_enabled(self, monkeypatch):
+        monkeypatch.setenv(CACHE_DISABLE_ENV_VAR, "maybe")
+        with pytest.warns(RuntimeWarning, match="unrecognized boolean"):
+            assert envconfig.env_cache_enabled() is True
+
+
+class TestCacheDirAndScale:
+    def test_cache_dir_default_and_env(self, monkeypatch, tmp_path):
+        monkeypatch.delenv(CACHE_DIR_ENV_VAR, raising=False)
+        assert envconfig.env_cache_dir() == envconfig.DEFAULT_CACHE_DIR
+        monkeypatch.setenv(CACHE_DIR_ENV_VAR, str(tmp_path))
+        assert envconfig.env_cache_dir() == str(tmp_path)
+        assert ECCCache().directory == tmp_path
+
+    def test_scale_normalizes_case_and_defaults(self, monkeypatch):
+        monkeypatch.delenv(SCALE_ENV_VAR, raising=False)
+        assert envconfig.env_scale() == "quick"
+        monkeypatch.setenv(SCALE_ENV_VAR, "  MEDIUM ")
+        assert envconfig.env_scale() == "medium"
+        monkeypatch.setenv(SCALE_ENV_VAR, "")
+        assert envconfig.env_scale() == "quick"
