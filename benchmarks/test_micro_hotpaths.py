@@ -198,6 +198,42 @@ def test_parallel_repgen_is_byte_identical_and_records_speedup(
     assert parallel_result.stats.perf.get("repgen.parallel.rounds", 0) > 0
 
 
+def test_parallel_verification_is_byte_identical_and_records_timing(
+    nam_q3_n3_generation,
+):
+    """Sharded bucket verification must be bit-identical to serial; its
+    wall-clock and the aggregated worker VerifierStats are recorded in the
+    perf trajectory (speedup depends on the host's cores, so it is
+    reported, not asserted — this container may be single-core)."""
+    serial_result, serial_elapsed = nam_q3_n3_generation
+    generator = RepGen(
+        NAM, num_qubits=3, num_params=2, verify_workers=PARALLEL_WORKERS
+    )
+    start = time.perf_counter()
+    parallel_result = generator.generate(3)
+    elapsed = time.perf_counter() - start
+    perf = parallel_result.stats.perf
+    _RESULTS["verify_parallel"] = {
+        "workers": PARALLEL_WORKERS,
+        "seconds": elapsed,
+        "serial_seconds": serial_elapsed,
+        "speedup_vs_serial": serial_elapsed / elapsed,
+        "verification_calls": parallel_result.stats.verification_calls,
+        "verification_time": parallel_result.stats.verification_time,
+        "perf": {
+            k: v
+            for k, v in perf.items()
+            if k.startswith("verifier.parallel") or k.startswith("verifier.workers")
+        },
+    }
+    # The acceptance bar: byte-identical serialized output for Nam (3, 3),
+    # with the aggregated worker stats visible in GeneratorStats.perf.
+    assert parallel_result.ecc_set.to_json() == serial_result.ecc_set.to_json()
+    assert perf.get("verifier.parallel.rounds", 0) > 0
+    assert perf.get("verifier.workers.checks", 0) > 0
+    assert perf.get("verifier.parallel.table_misses", 0) == 0
+
+
 def test_warm_cache_repgen_under_half_second(nam_q3_n3_generation, tmp_path):
     """A warm .repro_cache/ hit replaces generation with a JSON load."""
     serial_result, _ = nam_q3_n3_generation

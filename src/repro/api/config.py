@@ -34,6 +34,7 @@ from repro.envconfig import (
     env_cache_dir,
     env_cache_enabled,
     env_scale,
+    env_verify_workers_optional,
     env_workers_optional,
 )
 from repro.generator.repgen import DEFAULT_SEED
@@ -44,10 +45,10 @@ from repro.ir.gatesets import GateSet
 class GenerationConfig:
     """ECC-generation scale and infrastructure knobs.
 
-    ``workers``, ``cache_dir`` and ``cache_enabled`` default to ``None``,
-    meaning "resolve from the environment at run time" (the behaviour every
-    pre-facade entry point had); :meth:`RunConfig.from_env` snapshots them
-    into concrete values instead.
+    ``workers``, ``verify_workers``, ``cache_dir`` and ``cache_enabled``
+    default to ``None``, meaning "resolve from the environment at run time"
+    (the behaviour every pre-facade entry point had);
+    :meth:`RunConfig.from_env` snapshots them into concrete values instead.
     """
 
     n: int = 3
@@ -55,6 +56,7 @@ class GenerationConfig:
     num_params: Optional[int] = None  # None: the gate set's configured m
     seed: int = DEFAULT_SEED
     workers: Optional[int] = None
+    verify_workers: Optional[int] = None
     cache_dir: Optional[str] = None
     cache_enabled: Optional[bool] = None
     prune: bool = True
@@ -130,15 +132,16 @@ class RunConfig:
         """Snapshot every ``REPRO_*`` knob into a concrete config.
 
         This is the single environment-reading path of the public API:
-        ``REPRO_GEN_WORKERS`` (invalid/negative values warn and mean
-        serial), ``REPRO_CACHE_DIR``, ``REPRO_CACHE_DISABLE`` (only truthy
-        values disable) and ``REPRO_SCALE``.  ``overrides`` win over the
-        environment.
+        ``REPRO_GEN_WORKERS`` / ``REPRO_VERIFY_WORKERS`` (invalid/negative
+        values warn and mean serial), ``REPRO_CACHE_DIR``,
+        ``REPRO_CACHE_DISABLE`` (only truthy values disable) and
+        ``REPRO_SCALE``.  ``overrides`` win over the environment.
         """
         config = cls(
             scale=env_scale(),
             generation=GenerationConfig(
                 workers=env_workers_optional(),
+                verify_workers=env_verify_workers_optional(),
                 cache_dir=env_cache_dir(),
                 cache_enabled=env_cache_enabled(),
             ),

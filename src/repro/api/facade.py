@@ -31,6 +31,7 @@ from repro.envconfig import env_cache_dir, env_cache_enabled
 from repro.generator.cache import ECCCache, backend_kind, cache_key
 from repro.generator.ecc import ECCSet
 from repro.generator.parallel import resolve_workers
+from repro.verifier.parallel import resolve_verify_workers
 from repro.generator.pruning import prune_common_subcircuits, simplify_ecc_set
 from repro.generator.repgen import GeneratorResult, GeneratorStats, RepGen
 from repro.ir.circuit import Circuit
@@ -125,6 +126,7 @@ def run_generation(
         num_params=generation.num_params,
         seed=generation.seed,
         workers=generation.workers,
+        verify_workers=generation.verify_workers,
         backend=backend,
     )
     disk_cache = ECCCache(
@@ -446,6 +448,7 @@ class Superoptimizer:
             "q": generation.q,
             "seed": generation.seed,
             "workers": resolve_workers(generation.workers),
+            "verify_workers": resolve_verify_workers(generation.verify_workers),
             "cache_dir": str(
                 generation.cache_dir
                 if generation.cache_dir is not None

@@ -5,6 +5,8 @@ the semantics of a knob cannot drift between call sites:
 
 * ``REPRO_GEN_WORKERS``   — fingerprint worker processes per RepGen run
   (non-integers and negatives warn and fall back to serial);
+* ``REPRO_VERIFY_WORKERS`` — equivalence-verifier worker processes per
+  RepGen run (same parsing rules as ``REPRO_GEN_WORKERS``);
 * ``REPRO_CACHE_DIR``     — persistent ECC cache directory;
 * ``REPRO_CACHE_DISABLE`` — boolean flag; **only truthy values disable**
   the cache, so ``REPRO_CACHE_DISABLE=0`` / ``=false`` / ``=off`` mean
@@ -26,6 +28,7 @@ import warnings
 from typing import Optional
 
 WORKERS_ENV_VAR = "REPRO_GEN_WORKERS"
+VERIFY_WORKERS_ENV_VAR = "REPRO_VERIFY_WORKERS"
 CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
 CACHE_DISABLE_ENV_VAR = "REPRO_CACHE_DISABLE"
 SCALE_ENV_VAR = "REPRO_SCALE"
@@ -84,20 +87,32 @@ def parse_workers(raw: str, *, source: str = WORKERS_ENV_VAR) -> int:
     return max(workers, 1)
 
 
-def env_workers(*, default: int = 1) -> int:
-    """Worker count from ``REPRO_GEN_WORKERS`` (absent means the default)."""
-    raw = os.environ.get(WORKERS_ENV_VAR)
+def _env_worker_count(var: str, default: Optional[int]) -> Optional[int]:
+    """Shared reader for the worker-count knobs (one parsing path each)."""
+    raw = os.environ.get(var)
     if raw is None:
         return default
-    return parse_workers(raw)
+    return parse_workers(raw, source=var)
+
+
+def env_workers(*, default: int = 1) -> int:
+    """Worker count from ``REPRO_GEN_WORKERS`` (absent means the default)."""
+    return _env_worker_count(WORKERS_ENV_VAR, default)
 
 
 def env_workers_optional() -> Optional[int]:
     """Worker count from the environment, or None when the knob is unset."""
-    raw = os.environ.get(WORKERS_ENV_VAR)
-    if raw is None:
-        return None
-    return parse_workers(raw)
+    return _env_worker_count(WORKERS_ENV_VAR, None)
+
+
+def env_verify_workers(*, default: int = 1) -> int:
+    """Worker count from ``REPRO_VERIFY_WORKERS`` (absent means the default)."""
+    return _env_worker_count(VERIFY_WORKERS_ENV_VAR, default)
+
+
+def env_verify_workers_optional() -> Optional[int]:
+    """Verifier worker count from the environment, or None when unset."""
+    return _env_worker_count(VERIFY_WORKERS_ENV_VAR, None)
 
 
 def env_cache_dir(*, default: str = DEFAULT_CACHE_DIR) -> str:

@@ -12,6 +12,8 @@ Shared flags:
 
 * ``--workers N``    — shard RepGen fingerprinting over N processes
   (default: the ``REPRO_GEN_WORKERS`` environment variable, else serial);
+* ``--verify-workers N`` — shard bucket-internal equivalence checks over N
+  processes (default: ``REPRO_VERIFY_WORKERS``, else serial);
 * ``--cache-dir DIR``— persistent ECC cache location (default
   ``REPRO_CACHE_DIR`` or ``.repro_cache/``);
 * ``--no-cache``     — neither read nor write the persistent cache.
@@ -32,6 +34,7 @@ from typing import Optional, Sequence
 from repro.envconfig import (
     CACHE_DIR_ENV_VAR,
     CACHE_DISABLE_ENV_VAR,
+    VERIFY_WORKERS_ENV_VAR,
     WORKERS_ENV_VAR,
 )
 
@@ -47,6 +50,15 @@ def _add_shared_flags(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=None,
         help="fingerprint worker processes (default: REPRO_GEN_WORKERS or serial)",
+    )
+    parser.add_argument(
+        "--verify-workers",
+        type=int,
+        default=None,
+        help=(
+            "equivalence-verifier worker processes "
+            "(default: REPRO_VERIFY_WORKERS or serial)"
+        ),
     )
     parser.add_argument(
         "--cache-dir",
@@ -74,6 +86,8 @@ def _apply_shared_flags(args: argparse.Namespace) -> None:
         os.environ[CACHE_DISABLE_ENV_VAR] = "1"
     if args.workers is not None:
         os.environ[WORKERS_ENV_VAR] = str(args.workers)
+    if args.verify_workers is not None:
+        os.environ[VERIFY_WORKERS_ENV_VAR] = str(args.verify_workers)
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -86,6 +100,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         verbose=not args.json,
         use_disk_cache=not args.no_cache,
         workers=args.workers,
+        verify_workers=args.verify_workers,
     )
     stats = result.stats
     if args.json:
@@ -131,6 +146,8 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     generation_overrides = {"n": args.n, "q": args.q}
     if args.workers is not None:
         generation_overrides["workers"] = args.workers
+    if args.verify_workers is not None:
+        generation_overrides["verify_workers"] = args.verify_workers
     if args.cache_dir is not None:
         generation_overrides["cache_dir"] = args.cache_dir
     if args.no_cache:

@@ -12,7 +12,9 @@ Knobs (all also exposed by ``python -m repro.experiments.cli``):
 * ``REPRO_CACHE_DIR`` — cache directory (default ``.repro_cache/``);
 * ``REPRO_CACHE_DISABLE=1`` — ignore the disk cache entirely
   (``0``/``false`` keep it enabled);
-* ``REPRO_GEN_WORKERS`` — fingerprint worker processes per RepGen run.
+* ``REPRO_GEN_WORKERS`` — fingerprint worker processes per RepGen run;
+* ``REPRO_VERIFY_WORKERS`` — equivalence-verifier worker processes per
+  RepGen run.
 """
 
 from __future__ import annotations
@@ -38,6 +40,7 @@ def _generation_config(
     *,
     use_disk_cache: bool = True,
     workers: Optional[int] = None,
+    verify_workers: Optional[int] = None,
     prune: bool = True,
     verbose: bool = False,
 ) -> GenerationConfig:
@@ -45,6 +48,7 @@ def _generation_config(
         n=n,
         q=q,
         workers=workers,
+        verify_workers=verify_workers,
         # None defers to the REPRO_CACHE_* environment at run time, which
         # is what these legacy entry points always did; False means
         # "neither read nor write" (the --no-cache path).
@@ -62,6 +66,7 @@ def build_ecc_set(
     prune: bool = True,
     use_disk_cache: bool = True,
     workers: Optional[int] = None,
+    verify_workers: Optional[int] = None,
     verbose: bool = False,
 ) -> ECCSet:
     """Generate (or load from cache) the pruned (n, q)-complete ECC set."""
@@ -72,6 +77,7 @@ def build_ecc_set(
             q,
             use_disk_cache=use_disk_cache,
             workers=workers,
+            verify_workers=verify_workers,
             prune=prune,
             verbose=verbose,
         ),
@@ -86,12 +92,18 @@ def run_generator(
     verbose: bool = False,
     use_disk_cache: bool = True,
     workers: Optional[int] = None,
+    verify_workers: Optional[int] = None,
 ) -> GeneratorResult:
     """Run RepGen (memoized in memory and on disk) and return the result."""
     return _facade.run_generation(
         gate_set_name,
         _generation_config(
-            n, q, use_disk_cache=use_disk_cache, workers=workers, verbose=verbose
+            n,
+            q,
+            use_disk_cache=use_disk_cache,
+            workers=workers,
+            verify_workers=verify_workers,
+            verbose=verbose,
         ),
     )
 

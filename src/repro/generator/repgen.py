@@ -32,11 +32,23 @@ from repro.ir.gatesets import GateSet
 from repro.ir.params import Angle, ParamSpec
 from repro.perf import PerfRecorder
 from repro.semantics.fingerprint import FingerprintContext
-from repro.verifier.equivalence import EquivalenceVerifier
+from repro.verifier.equivalence import EquivalenceVerifier, VerifierStats
+from repro.verifier.parallel import (
+    MIN_PARALLEL_VERIFY_PAIRS,
+    ParallelVerifierPool,
+    resolve_verify_workers,
+)
 
 #: Seed for the fingerprint context's random inputs.  Part of the cache key:
 #: two runs agree bit-for-bit only when their seeds agree.
 DEFAULT_SEED = 20220433
+
+#: Per probed bucket, how many of a candidate's earlier same-round
+#: candidates are speculatively verified by the worker pool.  Bounds the
+#: speculation at O(candidates) instead of O(bucket size^2); anything past
+#: the bound falls back to the parent verifier (identical verdicts), so
+#: this trades parallel coverage for total work, never correctness.
+SPECULATIVE_BUCKET_BOUND = 8
 
 
 @dataclass
@@ -99,6 +111,13 @@ class RepGen:
             the fingerprint evaluation is parallel; bucket merging, ECC
             inserts and all verifier calls happen in the parent in
             enumeration order.
+        verify_workers: size of the multiprocessing pool bucket-internal
+            equivalence checks are sharded across (None reads
+            ``REPRO_VERIFY_WORKERS``, <= 1 verifies serially).  Workers
+            precompute a verdict table for each round; the parent then
+            assigns candidates to ECC classes serially in enumeration
+            order, so the output is byte-identical to a serial run
+            regardless of which worker answered first.
         backend: simulator backend name for the fingerprint evaluation
             (see :mod:`repro.semantics.backend`).  Non-default backends get
             their own persistent-cache namespace, since their floating
@@ -115,12 +134,18 @@ class RepGen:
         verifier: Optional[EquivalenceVerifier] = None,
         seed: int = DEFAULT_SEED,
         workers: Optional[int] = None,
+        verify_workers: Optional[int] = None,
         backend: str = "numpy",
     ) -> None:
         self.gate_set = gate_set
         self.num_qubits = num_qubits
         self.seed = seed
         self.workers = resolve_workers(workers)
+        self.verify_workers = resolve_verify_workers(verify_workers)
+        # Aggregated stats of the verifier *workers* (the parent verifier
+        # keeps its own); reset per generate() run and merged into that
+        # run's GeneratorStats.
+        self._worker_verifier_stats = VerifierStats()
         self.num_params = gate_set.num_params if num_params is None else num_params
         self.param_spec = param_spec or ParamSpec(self.num_params)
         self.perf = PerfRecorder()
@@ -222,7 +247,11 @@ class RepGen:
     def _generate_uncached(self, max_gates: int, verbose: bool) -> GeneratorResult:
         start_time = time.perf_counter()
         stats = GeneratorStats()
+        # Worker stats are per-run (they merge into this run's perf snapshot
+        # at the end); carrying them over would double-count a reused RepGen.
+        self._worker_verifier_stats = VerifierStats()
         pool = self._make_pool()
+        verify_pool = self._make_verify_pool()
 
         empty = Circuit(self.num_qubits, num_params=self.num_params)
         eccs: List[ECC] = [ECC([empty])]
@@ -264,13 +293,31 @@ class RepGen:
 
                 # Fingerprint the candidates (sharded across the pool when
                 # one is available), then insert in enumeration order — the
-                # inserts and verifier calls are what make the output
-                # deterministic, and they always run in the parent.
+                # inserts are what make the output deterministic, and they
+                # always run in the parent.  When a verifier pool is up, the
+                # equivalence checks the inserts will ask about are
+                # precomputed as a verdict table first; the insert loop then
+                # only looks verdicts up, so the assignment of candidates to
+                # classes is identical to the serial path no matter which
+                # worker answered first.
                 keys_per_job = self._fingerprint_jobs(jobs, pool)
+                candidates: List[Circuit] = []
+                candidate_keys: List[int] = []
                 for (parent, extensions), keys in zip(jobs, keys_per_job):
                     for inst, hash_key in zip(extensions, keys):
-                        candidate = parent.appended(inst)
-                        self._insert_circuit(candidate, hash_key, eccs, ecc_buckets)
+                        candidates.append(parent.appended(inst))
+                        candidate_keys.append(hash_key)
+                verdicts = self._verify_round_table(
+                    candidates, candidate_keys, eccs, ecc_buckets, verify_pool
+                )
+                for index, (candidate, hash_key) in enumerate(
+                    zip(candidates, candidate_keys)
+                ):
+                    if verdicts is not None:
+                        verdicts.candidate_index = index
+                    self._insert_circuit(
+                        candidate, hash_key, eccs, ecc_buckets, verdicts
+                    )
 
                 # Recompute representatives: the minimum of every class.
                 rep_keys = set()
@@ -298,6 +345,8 @@ class RepGen:
         finally:
             if pool is not None:
                 pool.close()
+            if verify_pool is not None:
+                verify_pool.close()
 
         representatives = [ecc.representative for ecc in eccs]
         result_set = ECCSet(
@@ -309,8 +358,22 @@ class RepGen:
         stats.num_representatives = len(representatives)
         stats.num_eccs = len(result_set)
         stats.num_transformations = result_set.num_transformations()
-        stats.verification_calls = self.verifier.stats.checks
-        stats.verification_time = self.verifier.stats.time_seconds
+        worker_stats = self._worker_verifier_stats
+        stats.verification_calls = self.verifier.stats.checks + worker_stats.checks
+        stats.verification_time = (
+            self.verifier.stats.time_seconds + worker_stats.time_seconds
+        )
+        if worker_stats.checks:
+            # Surface the aggregated worker VerifierStats in the perf
+            # snapshot (`verifier.workers.*`) so multi-worker runs keep the
+            # Table 5 / Table 8 metrics observable per run.
+            self.perf.merge_counts(
+                {
+                    f"verifier.workers.{name}": getattr(worker_stats, name)
+                    for name in VerifierStats.COUNTER_FIELDS
+                }
+            )
+            self.perf.add_time("verifier.workers", worker_stats.time_seconds)
         stats.total_time = time.perf_counter() - start_time
         stats.perf = self.perf.snapshot()
         return GeneratorResult(result_set, stats, representatives)
@@ -340,6 +403,124 @@ class RepGen:
         self.perf.count("repgen.parallel.pools")
         self.perf.count("repgen.parallel.workers", self.workers)
         return pool
+
+    def _make_verify_pool(self) -> Optional[ParallelVerifierPool]:
+        """Create the bucket-verification worker pool, or None for serial runs.
+
+        Mirrors :meth:`_make_pool`: any setup failure degrades to the serial
+        path — parallel verification must never change whether generation
+        succeeds.  A custom verifier subclass also falls back to serial,
+        because workers rebuilt from :meth:`EquivalenceVerifier.spec` could
+        answer differently than the subclass and break the byte-identity
+        guarantee.
+        """
+        if self.verify_workers < 2:
+            return None
+        if type(self.verifier) is not EquivalenceVerifier:
+            warnings.warn(
+                "parallel verification supports only stock EquivalenceVerifier "
+                f"instances, not {type(self.verifier).__name__}; verifying "
+                "serially",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            self.perf.count("verifier.parallel.unsupported_verifier")
+            return None
+        try:
+            pool = ParallelVerifierPool(self.verifier.spec(), self.verify_workers)
+        except Exception as error:  # noqa: BLE001 — any failure means "go serial"
+            warnings.warn(
+                f"could not start {self.verify_workers} verifier workers "
+                f"({error}); verifying serially",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            self.perf.count("verifier.parallel.pool_failures")
+            return None
+        self.perf.count("verifier.parallel.pools")
+        self.perf.count("verifier.parallel.workers", self.verify_workers)
+        return pool
+
+    def _verify_round_table(
+        self,
+        candidates: List[Circuit],
+        keys: List[int],
+        eccs: List[ECC],
+        ecc_buckets: Dict[int, List[int]],
+        pool: Optional[ParallelVerifierPool],
+    ) -> Optional["_RoundVerdicts"]:
+        """Precompute every verdict this round's inserts could ask for.
+
+        Two families of (candidate, anchor) pairs cover the insert loop's
+        question space exactly:
+
+        * each candidate against the anchor (``circuits[0]``) of every class
+          registered under its ±1 fingerprint buckets when the round starts
+          — new classes created during the round register under *their*
+          keys, never mutating the pre-round index lists; and
+        * each candidate against the **earliest** earlier candidates within
+          ±1 buckets (up to :data:`SPECULATIVE_BUCKET_BOUND` per bucket) —
+          speculative, because an earlier candidate only becomes an anchor
+          if it founds a new class.  Class founders are the *first* members
+          of their class in enumeration order, so the earliest bucket
+          occupants cover the actual anchors unless a single bucket hosts
+          more distinct classes than the bound (rare); the bound keeps the
+          speculation linear in bucket size instead of quadratic.  A lookup
+          the table cannot answer falls back to the parent verifier, whose
+          verdict is identical by construction — so truncation affects only
+          how much work runs in parallel, never the output.
+
+        Returns None when the round should verify serially (no pool, batch
+        below :data:`MIN_PARALLEL_VERIFY_PAIRS`, or the pool failed — the
+        latter with a warning, like the fingerprint pool).
+        """
+        if pool is None or not candidates:
+            return None
+        pairs = []
+        pair_ids = []
+        for index, (candidate, key) in enumerate(zip(candidates, keys)):
+            seen: Set[int] = set()
+            for probe in (key - 1, key, key + 1):
+                for ecc_index in ecc_buckets.get(probe, ()):
+                    if ecc_index in seen:
+                        continue
+                    seen.add(ecc_index)
+                    pairs.append((candidate, eccs[ecc_index].circuits[0]))
+                    pair_ids.append((index, ("ecc", ecc_index)))
+        by_bucket: Dict[int, List[int]] = {}
+        for index, key in enumerate(keys):
+            by_bucket.setdefault(key, []).append(index)
+        for index, key in enumerate(keys):
+            for probe in (key - 1, key, key + 1):
+                # Bucket lists are in enumeration order, so this takes the
+                # earliest earlier candidates — where the class founders are.
+                for earlier in by_bucket.get(probe, ())[:SPECULATIVE_BUCKET_BOUND]:
+                    if earlier >= index:
+                        break
+                    pairs.append((candidates[index], candidates[earlier]))
+                    pair_ids.append((index, ("cand", earlier)))
+        if len(pairs) < MIN_PARALLEL_VERIFY_PAIRS:
+            return None
+        try:
+            results, worker_stats, worker_counters = pool.verify_pairs(pairs)
+        except Exception as error:  # noqa: BLE001
+            warnings.warn(
+                f"verifier worker pool failed ({error}); "
+                "falling back to serial verification",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+            self.perf.count("verifier.parallel.round_failures")
+            return None
+        self._worker_verifier_stats.add(worker_stats)
+        self.perf.merge_counts(worker_counters)
+        self.perf.merge_counts(
+            {
+                "verifier.parallel.rounds": 1,
+                "verifier.parallel.pairs": len(pairs),
+            }
+        )
+        return _RoundVerdicts(dict(zip(pair_ids, results)), len(eccs))
 
     def _fingerprint_jobs(
         self,
@@ -402,6 +583,7 @@ class RepGen:
         key: int,
         eccs: List[ECC],
         ecc_buckets: Dict[int, List[int]],
+        verdicts: Optional["_RoundVerdicts"] = None,
     ) -> None:
         """Place a candidate circuit into an existing ECC or a new singleton.
 
@@ -409,6 +591,12 @@ class RepGen:
         by the caller).  Only classes stored under that bucket or the two
         adjacent buckets can possibly be equivalent (Section 7.1), so only
         those are checked with the verifier.
+
+        With a ``verdicts`` table the equivalence answers come from the
+        precomputed worker verdicts instead of a live verifier call; a miss
+        (which the table construction makes impossible in practice, but is
+        tolerated for safety) falls back to the parent verifier, whose
+        answer is identical by construction.
         """
         candidate_indices: List[int] = []
         for probe in (key - 1, key, key + 1):
@@ -421,12 +609,55 @@ class RepGen:
             ecc = eccs[index]
             if circuit in ecc:
                 return
-            if self.verifier.verify(circuit, ecc.circuits[0]).equivalent:
+            equivalent: Optional[bool] = None
+            if verdicts is not None:
+                result = verdicts.lookup(index)
+                if result is not None:
+                    self.perf.count("verifier.parallel.table_hits")
+                    equivalent = result.equivalent
+                else:
+                    self.perf.count("verifier.parallel.table_misses")
+            if equivalent is None:
+                equivalent = self.verifier.verify(circuit, ecc.circuits[0]).equivalent
+            if equivalent:
                 ecc.add(circuit)
                 return
         eccs.append(ECC([circuit]))
         self._register_bucket(ecc_buckets, key, len(eccs) - 1)
+        if verdicts is not None:
+            verdicts.register_new_class()
 
     @staticmethod
     def _register_bucket(buckets: Dict[int, List[int]], key: int, index: int) -> None:
         buckets.setdefault(key, []).append(index)
+
+
+class _RoundVerdicts:
+    """Precomputed verdict table for one round's ECC inserts.
+
+    Entries are keyed by ``(candidate enumeration index, anchor token)``: a
+    class that existed when the round started is addressed as
+    ``("ecc", class index)``, a class created *during* the round as
+    ``("cand", index of the candidate that founded it)`` — its anchor
+    circuit (``circuits[0]``) is exactly that candidate.  The insert loop
+    reports class creations via :meth:`register_new_class`, so anchor
+    tokens stay in lockstep with ``eccs`` without any re-verification.
+    """
+
+    __slots__ = ("table", "anchor_tokens", "candidate_index")
+
+    def __init__(self, table: Dict, num_pre_round_classes: int) -> None:
+        self.table = table
+        self.anchor_tokens: List[tuple] = [
+            ("ecc", index) for index in range(num_pre_round_classes)
+        ]
+        #: Enumeration index of the candidate currently being inserted;
+        #: advanced by the caller before each insert.
+        self.candidate_index = -1
+
+    def lookup(self, ecc_index: int):
+        """The precomputed verdict for the current candidate vs a class."""
+        return self.table.get((self.candidate_index, self.anchor_tokens[ecc_index]))
+
+    def register_new_class(self) -> None:
+        self.anchor_tokens.append(("cand", self.candidate_index))

@@ -11,11 +11,22 @@ DESIGN.md for why this decides the same verification conditions.
 """
 
 from repro.verifier.trig import AtomTrigBuilder, SymbolicContext
-from repro.verifier.equivalence import EquivalenceVerifier, VerificationResult
+from repro.verifier.equivalence import (
+    EquivalenceVerifier,
+    VerificationResult,
+    VerifierStats,
+)
+from repro.verifier.parallel import (
+    ParallelVerifierPool,
+    resolve_verify_workers,
+)
 
 __all__ = [
     "AtomTrigBuilder",
     "SymbolicContext",
     "EquivalenceVerifier",
     "VerificationResult",
+    "VerifierStats",
+    "ParallelVerifierPool",
+    "resolve_verify_workers",
 ]

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.ir.circuit import Circuit
 from repro.perf import NULL_RECORDER, PerfRecorder
@@ -54,20 +54,57 @@ class VerificationResult:
 class VerifierStats:
     """Counters the experiments report (Table 5 / Table 8)."""
 
+    #: The integer-valued counter fields, in declaration order.  ``merge``
+    #: and ``as_dict`` derive from this list so a new counter cannot be
+    #: forgotten in one of them.
+    COUNTER_FIELDS = (
+        "checks",
+        "symbolic_proofs",
+        "numeric_rejections",
+        "numeric_fallbacks",
+    )
+
     checks: int = 0
     symbolic_proofs: int = 0
     numeric_rejections: int = 0
     numeric_fallbacks: int = 0
     time_seconds: float = 0.0
 
-    def as_dict(self) -> Dict[str, float]:
-        return {
-            "checks": self.checks,
-            "symbolic_proofs": self.symbolic_proofs,
-            "numeric_rejections": self.numeric_rejections,
-            "numeric_fallbacks": self.numeric_fallbacks,
-            "time_seconds": self.time_seconds,
+    def as_dict(self) -> Dict[str, Union[int, float]]:
+        """JSON-friendly view; counters stay ``int``, only the time is float."""
+        out: Dict[str, Union[int, float]] = {
+            name: int(getattr(self, name)) for name in self.COUNTER_FIELDS
         }
+        out["time_seconds"] = float(self.time_seconds)
+        return out
+
+    def add(self, other: "VerifierStats") -> None:
+        """Fold another stats object into this one (counters stay ints)."""
+        for name in self.COUNTER_FIELDS:
+            setattr(self, name, int(getattr(self, name)) + int(getattr(other, name)))
+        self.time_seconds += float(other.time_seconds)
+
+    @classmethod
+    def merge(cls, parts: Iterable["VerifierStats"]) -> "VerifierStats":
+        """Aggregate per-worker stats into one; counters round-trip as ints.
+
+        Used by the parallel verifier's deterministic merge: every worker
+        reports the stats of its batch, and the parent folds them into the
+        run totals without the float-typed counters that naive summation
+        over ``as_dict`` values used to produce.
+        """
+        total = cls()
+        for part in parts:
+            total.add(part)
+        return total
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Union[int, float]]) -> "VerifierStats":
+        """Inverse of :meth:`as_dict` (tolerates float-typed counters)."""
+        return cls(
+            **{name: int(data.get(name, 0)) for name in cls.COUNTER_FIELDS},
+            time_seconds=float(data.get("time_seconds", 0.0)),
+        )
 
 
 class EquivalenceVerifier:
@@ -119,6 +156,36 @@ class EquivalenceVerifier:
         self._matrix_cache: Dict[Tuple, object] = {}
         # Embedded single-instruction matrices keyed the same way.
         self._instruction_cache: Dict[Tuple, object] = {}
+
+    # -- worker initialization -------------------------------------------------
+
+    def spec(self) -> dict:
+        """The picklable construction recipe for an equivalent verifier.
+
+        Mirrors :meth:`FingerprintContext.spec`: everything that determines
+        a verdict (seed, parameter count, backend, phase-search flags) is
+        captured, so a verifier rebuilt from its spec in a worker process
+        returns bit-identical results for every circuit pair — the property
+        the parallel verifier's deterministic merge relies on.  Caches and
+        perf recorders are per-process concerns and deliberately excluded.
+        """
+        return {
+            "num_params": self.num_params,
+            "search_linear_phase": self.search_linear_phase,
+            "allow_numeric_fallback": self.allow_numeric_fallback,
+            "seed": self.seed,
+            "backend": self.backend_name,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "EquivalenceVerifier":
+        return cls(
+            spec["num_params"],
+            search_linear_phase=spec["search_linear_phase"],
+            allow_numeric_fallback=spec["allow_numeric_fallback"],
+            seed=spec["seed"],
+            backend=spec.get("backend", "numpy"),
+        )
 
     def set_fingerprint_context(self, context: FingerprintContext) -> None:
         """Share an externally-owned fingerprint context (same seed).
@@ -173,7 +240,7 @@ class EquivalenceVerifier:
         except UnrepresentableAngleError as error:
             if not self.allow_numeric_fallback:
                 raise
-            return self._numeric_fallback(circuit_a, circuit_b, candidates, str(error))
+            return self._numeric_fallback(circuit_a, circuit_b, str(error))
 
         for candidate in candidates:
             phase_poly = builder.exp_i(candidate.as_angle())
@@ -190,15 +257,16 @@ class EquivalenceVerifier:
         self,
         circuit_a: Circuit,
         circuit_b: Circuit,
-        candidates: List[PhaseFactor],
         reason: str,
     ) -> VerificationResult:
         self.stats.numeric_fallbacks += 1
         if circuits_equivalent_numeric(circuit_a, circuit_b, num_trials=4, seed=self.seed):
-            phase = candidates[0] if candidates else None
+            # The randomized check only establishes equivalence up to *some*
+            # global phase; it validates no particular phase candidate, so
+            # the result carries none.
             return VerificationResult(
                 True,
-                phase=phase,
+                phase=None,
                 method="numeric",
                 reason=f"numeric fallback ({reason})",
             )
@@ -248,20 +316,33 @@ class EquivalenceVerifier:
             matrix = SymMatrix.identity(1 << num_qubits)
         perf.count("verifier.matrix_prefix_reuse", prefix_len)
 
-        if len(matrix_cache) > self.MATRIX_CACHE_LIMIT:
-            # Drop the older half (insertion order); correctness is
-            # unaffected, only the amount of recomputation.
-            for stale in list(matrix_cache)[: self.MATRIX_CACHE_LIMIT // 2]:
-                del matrix_cache[stale]
-
         for position in range(prefix_len, total):
             inst = circuit.instructions[position]
             gate_matrix = self._symbolic_instruction(
                 inst, builder, num_qubits, denominators
             )
             matrix = gate_matrix @ matrix
-            matrix_cache[(num_qubits, sequence[: position + 1], denominators)] = matrix
+            self._cache_matrix(
+                (num_qubits, sequence[: position + 1], denominators), matrix
+            )
         return matrix
+
+    def _cache_matrix(self, key: Tuple, matrix) -> None:
+        """Insert a prefix matrix, evicting when the cache is at its bound.
+
+        The bound is enforced per *insertion*, not per verify call: a single
+        long circuit inserts one entry per uncached prefix, so a call-level
+        check would let one call blow arbitrarily far past the limit.
+        Eviction drops the oldest half in insertion order — entries inserted
+        earlier in the current build loop are newer than everything else in
+        the cache, so the prefix chain under construction always survives.
+        """
+        cache = self._matrix_cache
+        if len(cache) >= self.MATRIX_CACHE_LIMIT:
+            for stale in list(cache)[: max(self.MATRIX_CACHE_LIMIT // 2, 1)]:
+                del cache[stale]
+            self.perf.count("verifier.matrix_cache.evictions")
+        cache[key] = matrix
 
     def _symbolic_instruction(
         self, inst, builder: AtomTrigBuilder, num_qubits: int, denominators: Tuple

@@ -1,0 +1,163 @@
+"""Sharded multiprocess equivalence verification for RepGen rounds.
+
+PR 2 parallelized the fingerprint evaluation of a RepGen round; the
+equivalence checks inside (adjacent) fingerprint buckets — the symbolic
+bulk of generation — still ran serially in the parent.  This module shards
+them the same way:
+
+* the parent enumerates, per round, every (candidate, anchor) pair the ECC
+  insert loop could possibly ask about: candidates against the classes that
+  existed when the round started, and candidates against *earlier*
+  candidates of the same round that might found a new class (the
+  speculative intra-round pairs);
+* each worker owns an :class:`~repro.verifier.equivalence.EquivalenceVerifier`
+  rebuilt from the parent verifier's :meth:`spec` (same seed, parameter
+  count, backend and phase-search flags — mirroring
+  ``FingerprintContext.spec()``) and verifies its shard of pairs;
+* the parent merges the verdicts into a table and replays the ECC insert
+  loop **serially, in enumeration order**, consulting the table instead of
+  calling the verifier.  Which worker answered first never matters: a
+  verdict is a pure function of the two circuits and the verifier spec, so
+  the merged ECC set — and hence ``ECCSet.to_json`` — is byte-identical to
+  a serial run's.
+
+Worker count resolution: an explicit ``verify_workers`` argument wins, else
+the ``REPRO_VERIFY_WORKERS`` environment variable, else 1 (serial).  Any
+failure to set up or use the pool degrades to the serial path with a
+warning, exactly like :mod:`repro.generator.parallel` — parallelism is an
+optimization, never a correctness dependency.
+
+Each worker batch also reports its :class:`VerifierStats` delta and its
+``verifier.*`` perf counters; the parent aggregates them (via
+:meth:`VerifierStats.merge`) into ``GeneratorStats`` so multi-worker runs
+keep the Table 5 / Table 8 metrics and the cache hit rates observable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.envconfig import VERIFY_WORKERS_ENV_VAR, env_verify_workers
+from repro.ir.circuit import Circuit
+from repro.perf import PerfRecorder
+from repro.verifier.equivalence import (
+    EquivalenceVerifier,
+    VerificationResult,
+    VerifierStats,
+)
+
+__all__ = [
+    "VERIFY_WORKERS_ENV_VAR",
+    "MIN_PARALLEL_VERIFY_PAIRS",
+    "VerifyPair",
+    "BatchOutcome",
+    "ParallelVerifierPool",
+    "resolve_verify_workers",
+]
+
+#: Rounds with fewer candidate pairs than this verify serially even when a
+#: pool is available: a single check costs ~a millisecond, so for tiny
+#: batches the pickling round-trip would dominate.
+MIN_PARALLEL_VERIFY_PAIRS = 16
+
+#: One bucket-internal equivalence question: (candidate, class anchor).
+VerifyPair = Tuple[Circuit, Circuit]
+
+#: What one ``verify_pairs`` call returns: the verdicts (in pair order), the
+#: merged per-worker stats, and the merged per-worker perf counters.
+BatchOutcome = Tuple[List[VerificationResult], VerifierStats, Dict[str, int]]
+
+
+def resolve_verify_workers(workers: Optional[int] = None) -> int:
+    """Resolve a verifier worker count: explicit arg, else env var, else 1."""
+    if workers is None:
+        return env_verify_workers()
+    return max(int(workers), 1)
+
+
+# -- worker side -------------------------------------------------------------
+
+_WORKER_VERIFIER: Optional[EquivalenceVerifier] = None
+
+
+def _init_worker(verifier_spec: dict) -> None:
+    global _WORKER_VERIFIER
+    _WORKER_VERIFIER = EquivalenceVerifier.from_spec(verifier_spec)
+
+
+def _verify_chunk(pairs: Sequence[VerifyPair]):
+    """Verdicts, stats delta and perf counters for one shard of pairs.
+
+    The verifier itself persists across chunks (so its symbolic matrix and
+    fingerprint caches stay warm within a run), but stats and perf counters
+    are swapped out per chunk so the parent receives exact deltas it can
+    aggregate without double counting.
+    """
+    verifier = _WORKER_VERIFIER
+    assert verifier is not None, "verifier pool used before initialization"
+    verifier.stats = VerifierStats()
+    verifier.perf = PerfRecorder()
+    results = [verifier.verify(a, b) for a, b in pairs]
+    return results, verifier.stats, dict(verifier.perf.counters)
+
+
+# -- parent side -------------------------------------------------------------
+
+
+class ParallelVerifierPool:
+    """A persistent worker pool answering bucket-internal equivalence checks.
+
+    Created once per :meth:`RepGen.generate` call and reused across rounds,
+    so workers amortize interpreter start-up and keep their symbolic-matrix
+    and fingerprint caches warm between rounds.
+    """
+
+    def __init__(self, verifier_spec: dict, workers: int) -> None:
+        if workers < 2:
+            raise ValueError("a parallel verifier pool needs at least 2 workers")
+        self.workers = workers
+        start_methods = multiprocessing.get_all_start_methods()
+        method = "fork" if "fork" in start_methods else start_methods[0]
+        self._pool = multiprocessing.get_context(method).Pool(
+            processes=workers,
+            initializer=_init_worker,
+            initargs=(dict(verifier_spec),),
+        )
+
+    def verify_pairs(self, pairs: Sequence[VerifyPair]) -> BatchOutcome:
+        """Verdicts for every pair, in pair order, plus aggregated worker stats.
+
+        Pair order is what lets the parent address verdicts by enumeration
+        index; the per-chunk stats and counters are merged here so callers
+        see one delta per batch regardless of how the shards were split.
+        """
+        if not pairs:
+            return [], VerifierStats(), {}
+        chunks = self._chunk(pairs)
+        outcomes = self._pool.map(_verify_chunk, chunks)
+        results: List[VerificationResult] = []
+        counters: Dict[str, int] = {}
+        for chunk_results, _, chunk_counters in outcomes:
+            results.extend(chunk_results)
+            for name, value in chunk_counters.items():
+                counters[name] = counters.get(name, 0) + int(value)
+        stats = VerifierStats.merge(outcome[1] for outcome in outcomes)
+        return results, stats, counters
+
+    def _chunk(self, pairs: Sequence[VerifyPair]) -> List[List[VerifyPair]]:
+        chunk_size = max(1, len(pairs) // (self.workers * 4) + 1)
+        return [
+            list(pairs[start : start + chunk_size])
+            for start in range(0, len(pairs), chunk_size)
+        ]
+
+    def close(self) -> None:
+        self._pool.terminate()
+        self._pool.join()
+
+    def __enter__(self) -> "ParallelVerifierPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

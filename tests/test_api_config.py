@@ -12,6 +12,7 @@ from repro.envconfig import (
     CACHE_DIR_ENV_VAR,
     CACHE_DISABLE_ENV_VAR,
     SCALE_ENV_VAR,
+    VERIFY_WORKERS_ENV_VAR,
     WORKERS_ENV_VAR,
 )
 
@@ -30,14 +31,24 @@ class TestFrozen:
 class TestFromEnv:
     def test_snapshots_every_knob(self, monkeypatch, tmp_path):
         monkeypatch.setenv(WORKERS_ENV_VAR, "4")
+        monkeypatch.setenv(VERIFY_WORKERS_ENV_VAR, "3")
         monkeypatch.setenv(CACHE_DIR_ENV_VAR, str(tmp_path))
         monkeypatch.setenv(CACHE_DISABLE_ENV_VAR, "false")
         monkeypatch.setenv(SCALE_ENV_VAR, "medium")
         config = RunConfig.from_env()
         assert config.generation.workers == 4
+        assert config.generation.verify_workers == 3
         assert config.generation.cache_dir == str(tmp_path)
         assert config.generation.cache_enabled is True
         assert config.scale == "medium"
+
+    def test_verify_workers_unset_stays_deferred(self, monkeypatch):
+        monkeypatch.delenv(VERIFY_WORKERS_ENV_VAR, raising=False)
+        assert RunConfig.from_env().generation.verify_workers is None
+
+    def test_verify_workers_flat_override_routes_to_generation(self):
+        config = RunConfig().with_overrides(verify_workers=2)
+        assert config.generation.verify_workers == 2
 
     def test_disable_flag_zero_means_enabled(self, monkeypatch):
         monkeypatch.setenv(CACHE_DISABLE_ENV_VAR, "0")

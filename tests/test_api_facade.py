@@ -77,6 +77,16 @@ class TestByteIdentity:
         report = facade.optimize(benchmark_circuit("tof_3"))
         assert report.final_cost == search.final_cost
 
+    def test_two_verify_worker_facade_matches_hand_wired(self, hand_wired_quick):
+        result, pruned, search = hand_wired_quick
+        clear_memory_caches()
+        facade = _quick_facade(verify_workers=2)
+        assert facade.generate().ecc_set.to_json() == result.ecc_set.to_json()
+        assert facade.ecc_set().to_json() == pruned.to_json()
+        report = facade.optimize(benchmark_circuit("tof_3"))
+        assert report.final_cost == search.final_cost
+        assert report.provenance["verify_workers"] == 2
+
 
 class TestRunReport:
     @pytest.fixture(scope="class")
@@ -107,6 +117,7 @@ class TestRunReport:
         assert p["gate_set"] == "nam"
         assert p["n"] == 3 and p["q"] == 2
         assert p["workers"] >= 1
+        assert p["verify_workers"] >= 1
         assert p["generation_source"] in {"generated", "memo", "disk"}
 
     def test_perf_counters_are_merged(self, small_report):

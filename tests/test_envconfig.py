@@ -17,10 +17,12 @@ from repro.envconfig import (
     CACHE_DIR_ENV_VAR,
     CACHE_DISABLE_ENV_VAR,
     SCALE_ENV_VAR,
+    VERIFY_WORKERS_ENV_VAR,
     WORKERS_ENV_VAR,
 )
 from repro.generator.cache import ECCCache
 from repro.generator.parallel import resolve_workers
+from repro.verifier.parallel import resolve_verify_workers
 
 
 class TestWorkers:
@@ -61,6 +63,44 @@ class TestWorkers:
     def test_explicit_argument_wins_over_env(self, monkeypatch):
         monkeypatch.setenv(WORKERS_ENV_VAR, "7")
         assert resolve_workers(3) == 3
+
+
+class TestVerifyWorkers:
+    def test_unset_means_serial(self, monkeypatch):
+        monkeypatch.delenv(VERIFY_WORKERS_ENV_VAR, raising=False)
+        assert envconfig.env_verify_workers() == 1
+        assert envconfig.env_verify_workers_optional() is None
+        assert resolve_verify_workers() == 1
+
+    @pytest.mark.parametrize("raw,expected", [("1", 1), ("2", 2), ("8", 8)])
+    def test_valid_values(self, monkeypatch, raw, expected):
+        monkeypatch.setenv(VERIFY_WORKERS_ENV_VAR, raw)
+        assert envconfig.env_verify_workers() == expected
+        assert resolve_verify_workers() == expected
+
+    @pytest.mark.parametrize("raw", ["nope", "2.5"])
+    def test_invalid_values_warn_and_mean_serial(self, monkeypatch, raw):
+        monkeypatch.setenv(VERIFY_WORKERS_ENV_VAR, raw)
+        with pytest.warns(RuntimeWarning, match="non-integer.*REPRO_VERIFY_WORKERS"):
+            assert envconfig.env_verify_workers() == 1
+
+    @pytest.mark.parametrize("raw", ["-1", "-16"])
+    def test_negative_values_warn_and_mean_serial(self, monkeypatch, raw):
+        monkeypatch.setenv(VERIFY_WORKERS_ENV_VAR, raw)
+        with pytest.warns(RuntimeWarning, match="negative.*REPRO_VERIFY_WORKERS"):
+            assert envconfig.env_verify_workers() == 1
+
+    def test_independent_of_gen_workers(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "4")
+        monkeypatch.delenv(VERIFY_WORKERS_ENV_VAR, raising=False)
+        assert envconfig.env_workers() == 4
+        assert envconfig.env_verify_workers() == 1
+        monkeypatch.setenv(VERIFY_WORKERS_ENV_VAR, "3")
+        assert envconfig.env_verify_workers() == 3
+
+    def test_explicit_argument_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(VERIFY_WORKERS_ENV_VAR, "7")
+        assert resolve_verify_workers(3) == 3
 
 
 class TestCacheDisable:

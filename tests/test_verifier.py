@@ -6,7 +6,7 @@ import pytest
 
 from repro.ir.circuit import Circuit
 from repro.ir.params import Angle
-from repro.verifier import EquivalenceVerifier
+from repro.verifier import EquivalenceVerifier, VerifierStats
 from repro.verifier.trig import AtomTrigBuilder, SymbolicContext, UnrepresentableAngleError
 
 
@@ -158,6 +158,37 @@ class TestNumericFallback:
         assert result.equivalent
         assert result.method == "numeric"
 
+    def test_fallback_success_reports_no_phase(self):
+        # The randomized check establishes equivalence up to *some* phase;
+        # it never validates a specific candidate, so the result must not
+        # fabricate provenance by reporting one.
+        verifier = EquivalenceVerifier(num_params=0)
+        a = Circuit(1).rz(0, Angle.pi(Fraction(1, 4))).rz(0, Angle.pi(Fraction(1, 4)))
+        b = Circuit(1).rz(0, Angle.pi(Fraction(1, 2)))
+        result = verifier.verify(a, b)
+        assert result.equivalent and result.method == "numeric"
+        assert result.phase is None
+
+    def test_fallback_rejection_branch(self):
+        # Drive the fallback directly with a non-equivalent pair: a numeric
+        # mismatch must reject without a phase.
+        verifier = EquivalenceVerifier(num_params=0)
+        result = verifier._numeric_fallback(
+            Circuit(1).x(0), Circuit(1).z(0), "injected"
+        )
+        assert not result.equivalent
+        assert result.method == "numeric"
+        assert result.phase is None
+
+    def test_fallback_acceptance_branch_reports_no_phase(self):
+        verifier = EquivalenceVerifier(num_params=0)
+        result = verifier._numeric_fallback(
+            Circuit(1).h(0).h(0), Circuit(1), "injected"
+        )
+        assert result.equivalent
+        assert result.method == "numeric"
+        assert result.phase is None
+
     def test_rz_vs_t_differ_by_unrepresentable_phase(self):
         # rz(pi/4) = e^{-i pi/8} T: the phase pi/8 is outside the candidate
         # space {k pi/4}, so the pair is (correctly) not proven equivalent.
@@ -172,6 +203,83 @@ class TestNumericFallback:
         b = Circuit(1).rz(0, Angle.pi(Fraction(1, 2)))
         with pytest.raises(UnrepresentableAngleError):
             verifier.verify(a, b)
+
+
+class TestMatrixCacheEviction:
+    def test_single_long_circuit_respects_cache_limit(self):
+        # One verify call on a long circuit inserts one entry per uncached
+        # prefix; the bound must hold at insert granularity, not once per
+        # call (which used to let a single call overshoot unboundedly).
+        verifier = EquivalenceVerifier(num_params=0)
+        verifier.MATRIX_CACHE_LIMIT = 8  # instance override for the test
+        long_a = Circuit(1)
+        long_b = Circuit(1)
+        for _ in range(20):
+            long_a.h(0).t(0)
+            long_b.t(0).h(0)
+        verifier.verify(long_a, long_b)
+        assert len(verifier._matrix_cache) <= 8
+
+    def test_eviction_does_not_change_verdicts(self):
+        verifier = EquivalenceVerifier(num_params=0)
+        verifier.MATRIX_CACHE_LIMIT = 4
+        circuit = Circuit(1)
+        for _ in range(12):
+            circuit.h(0).h(0)  # 24 gates, equal to identity
+        assert verifier.verify(circuit, Circuit(1)).equivalent
+        assert len(verifier._matrix_cache) <= 4
+        # A second pass (now with most prefixes evicted) must agree.
+        assert verifier.verify(circuit, Circuit(1)).equivalent
+        assert not verifier.verify(Circuit(1).x(0), Circuit(1)).equivalent
+
+    def test_eviction_counter_recorded(self):
+        from repro.perf import PerfRecorder
+
+        perf = PerfRecorder()
+        verifier = EquivalenceVerifier(num_params=0, perf=perf)
+        verifier.MATRIX_CACHE_LIMIT = 4
+        circuit = Circuit(1)
+        for _ in range(10):
+            circuit.h(0).h(0)
+        verifier.verify(circuit, Circuit(1))
+        assert perf.value("verifier.matrix_cache.evictions") > 0
+
+
+class TestVerifierStatsMerge:
+    def test_merge_keeps_integer_counters(self):
+        parts = [
+            VerifierStats(checks=3, symbolic_proofs=2, time_seconds=0.25),
+            VerifierStats(checks=4, numeric_rejections=1, time_seconds=0.5),
+            VerifierStats(numeric_fallbacks=2),
+        ]
+        merged = VerifierStats.merge(parts)
+        assert merged.checks == 7
+        assert merged.symbolic_proofs == 2
+        assert merged.numeric_rejections == 1
+        assert merged.numeric_fallbacks == 2
+        assert merged.time_seconds == pytest.approx(0.75)
+        for name in VerifierStats.COUNTER_FIELDS:
+            assert isinstance(getattr(merged, name), int)
+
+    def test_as_dict_counter_types_round_trip(self):
+        stats = VerifierStats(checks=5, symbolic_proofs=3, time_seconds=1.5)
+        data = stats.as_dict()
+        for name in VerifierStats.COUNTER_FIELDS:
+            assert isinstance(data[name], int), name
+        assert isinstance(data["time_seconds"], float)
+        assert VerifierStats.from_dict(data) == stats
+
+    def test_from_dict_tolerates_float_counters(self):
+        # Old snapshots (and JSON round-trips through float-typed columns)
+        # may carry counters as floats; from_dict normalizes them.
+        stats = VerifierStats.from_dict(
+            {"checks": 2.0, "symbolic_proofs": 1.0, "time_seconds": 0.5}
+        )
+        assert stats.checks == 2 and isinstance(stats.checks, int)
+
+    def test_merge_of_nothing_is_zero(self):
+        merged = VerifierStats.merge([])
+        assert merged == VerifierStats()
 
 
 class TestSymbolicContext:
