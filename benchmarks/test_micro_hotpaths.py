@@ -171,6 +171,37 @@ def test_search_speedup_vs_seed(nam_q3_n3_generation):
         )
 
 
+def test_batched_fingerprinting_is_byte_identical_and_records_speedup(
+    nam_q3_n3_generation,
+):
+    """Batched multi-state fingerprinting (the default) must be byte-identical
+    to the per-state path on the numpy backend; the wall-clock of both paths
+    is recorded in the perf trajectory (the numpy win is dispatch
+    amortization — the large kernel win is the numba leg's
+    ``numba_apply_gate_batch_q10`` entry)."""
+    batched_result, batched_elapsed = nam_q3_n3_generation
+    assert batched_result.stats.perf.get("fingerprint.batched.calls", 0) > 0
+
+    generator = RepGen(NAM, num_qubits=3, num_params=2, batched=False)
+    start = time.perf_counter()
+    per_state_result = generator.generate(3)
+    per_state_elapsed = time.perf_counter() - start
+    _RESULTS["repgen_batched_n3_q3"] = {
+        "batched_seconds": batched_elapsed,
+        "per_state_seconds": per_state_elapsed,
+        "speedup_vs_per_state": per_state_elapsed / batched_elapsed,
+        "perf": {
+            k: v
+            for k, v in batched_result.stats.perf.items()
+            if k.startswith("fingerprint.batched")
+        },
+    }
+    # The acceptance bar: hash keys — and hence the serialized ECC set —
+    # do not depend on the batch knob on the reference backend.
+    assert per_state_result.ecc_set.to_json() == batched_result.ecc_set.to_json()
+    assert per_state_result.stats.perf.get("fingerprint.batched.calls", 0) == 0
+
+
 def test_parallel_repgen_is_byte_identical_and_records_speedup(
     nam_q3_n3_generation,
 ):
@@ -400,10 +431,55 @@ def test_facade_end_to_end_timing(nam_q3_n3_generation):
         "final_cost": report.final_cost,
         "verified": report.verified,
         "num_transformations": report.num_transformations,
+        "batch_provenance": {
+            "backend": report.provenance["backend"],
+            "batched": report.provenance["batched"],
+            "batch_kind": report.provenance["batch_kind"],
+        },
     }
     assert facade.generate().ecc_set.to_json() == serial_result.ecc_set.to_json()
     assert report.verified is True
     assert report.final_cost <= report.initial_cost
+    assert elapsed < 120.0
+
+
+def test_facade_per_state_parity_and_timing(nam_q3_n3_generation):
+    """Facade-level batch check: a ``batched=False`` run is generated from
+    scratch (the memo is cleared), must serialize byte-identically to the
+    batched fixture, and must report the per-state path in its provenance.
+    Recorded to the trajectory next to ``facade_tof3_end_to_end``."""
+    from repro.api import RunConfig, Superoptimizer, clear_memory_caches
+
+    serial_result, _ = nam_q3_n3_generation
+    clear_memory_caches()
+    facade = Superoptimizer(
+        RunConfig().with_overrides(
+            gate_set="nam",
+            n=3,
+            q=3,
+            num_params=2,
+            batched=False,
+            cache_enabled=False,
+            max_iterations=15,
+            timeout_seconds=60,
+        )
+    )
+    start = time.perf_counter()
+    report = facade.optimize(benchmark_circuit("tof_3"))
+    elapsed = time.perf_counter() - start
+    _RESULTS["facade_per_state_tof3"] = {
+        "seconds": elapsed,
+        "stage_seconds": dict(report.stage_seconds),
+        "final_cost": report.final_cost,
+        "batch_provenance": {
+            "backend": report.provenance["backend"],
+            "batched": report.provenance["batched"],
+            "batch_kind": report.provenance["batch_kind"],
+        },
+    }
+    assert report.provenance["batched"] is False
+    assert report.provenance["batch_kind"] == "per-state"
+    assert facade.generate().ecc_set.to_json() == serial_result.ecc_set.to_json()
     assert elapsed < 120.0
 
 
@@ -458,6 +534,71 @@ def test_numba_apply_gate_microbench():
         "ratio_numpy_over_numba": numpy_seconds / numba_seconds,
         "repeats": repeats * len(cases),
     }
+
+
+def test_numba_apply_gate_batch_microbench():
+    """Batched vs per-state numba kernels on a q=10 stack (asserted >= 2x).
+
+    The batched kernel fuses 64 statevectors into one ``parallel=True``
+    launch with specialized 1-/2-qubit bodies, so it must beat 64 per-state
+    kernel calls by at least 2x wherever numba runs (the CI numba leg and
+    the reference container) — this ratio is a same-machine component
+    comparison like the incremental-fingerprint one, so it is asserted even
+    in check-only mode.  Numerical parity against the numpy batch kernel is
+    asserted regardless of speed.
+    """
+    pytest.importorskip("numba")
+    from repro.semantics.backend import get_backend
+    from repro.semantics.simulator import random_state
+
+    num_qubits = 10
+    batch = 64
+    rng = np.random.default_rng(41)
+    states = np.stack([random_state(num_qubits, rng) for _ in range(batch)])
+    cases = [
+        (instruction_unitary(Instruction("h", (4,))), (4,)),
+        (instruction_unitary(Instruction("cx", (7, 2))), (7, 2)),
+        (instruction_unitary(Instruction("ccx", (1, 8, 5))), (1, 8, 5)),
+    ]
+    numpy_backend = get_backend("numpy")
+    numba_backend = get_backend("numba")
+
+    # Warm-up triggers JIT compilation outside the timed region and checks
+    # parity while at it.
+    for matrix, qubits in cases:
+        np.testing.assert_allclose(
+            numba_backend.apply_gate_batch(states, matrix, qubits, num_qubits),
+            numpy_backend.apply_gate_batch(states, matrix, qubits, num_qubits),
+            atol=1e-12,
+        )
+        numba_backend.apply_gate(states[0], matrix, qubits, num_qubits)
+
+    repeats = 20
+    start = time.perf_counter()
+    for _ in range(repeats):
+        for matrix, qubits in cases:
+            for row in range(batch):
+                numba_backend.apply_gate(states[row], matrix, qubits, num_qubits)
+    per_state_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(repeats):
+        for matrix, qubits in cases:
+            numba_backend.apply_gate_batch(states, matrix, qubits, num_qubits)
+    batched_seconds = time.perf_counter() - start
+
+    ratio = per_state_seconds / batched_seconds
+    _RESULTS["numba_apply_gate_batch_q10"] = {
+        "per_state_seconds": per_state_seconds,
+        "batched_seconds": batched_seconds,
+        "ratio_per_state_over_batched": ratio,
+        "batch": batch,
+        "repeats": repeats * len(cases),
+    }
+    assert ratio >= 2.0, (
+        f"batched numba kernel only {ratio:.2f}x faster than per-state "
+        f"kernel calls on a {batch}-state q={num_qubits} stack; required >= 2x"
+    )
 
 
 def test_cached_gate_matrices_are_shared():

@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Assert that serial and multi-worker ECC generation are byte-identical.
+
+The determinism guarantee of the scale-out knobs — ``workers`` (sharded
+fingerprinting) and ``verify_workers`` (parallel bucket verification) — is
+that ``ECCSet.to_json`` does not depend on them.  This script generates the
+same configuration twice, once serially and once with the requested worker
+counts, and fails loudly if the serialized outputs differ by a single byte.
+
+Invoked by the ``parallel-verify`` CI leg (which used to carry this logic
+as an inline heredoc) and smoke-tested in-process by
+``tests/test_scripts.py``::
+
+    PYTHONPATH=src python scripts/check_ecc_identity.py \
+        --n 2 --q 2 --verify-workers 2 --artifact serial_ecc.json
+
+The persistent cache is deliberately not consulted: both runs generate from
+scratch so the comparison exercises the live code path, not a cached blob.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+
+def generate_json(
+    gate_set_name: str,
+    n: int,
+    q: int,
+    num_params: int,
+    workers: int,
+    verify_workers: int,
+) -> str:
+    from repro.generator import RepGen
+    from repro.ir.gatesets import get_gate_set
+
+    generator = RepGen(
+        get_gate_set(gate_set_name),
+        num_qubits=q,
+        num_params=num_params,
+        workers=workers,
+        verify_workers=verify_workers,
+    )
+    return generator.generate(n).ecc_set.to_json()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python scripts/check_ecc_identity.py",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--gate-set", default="nam", help="gate set name (default nam)")
+    parser.add_argument("--n", type=int, default=2, help="max gates per circuit")
+    parser.add_argument("--q", type=int, default=2, help="number of qubits")
+    parser.add_argument(
+        "--num-params", type=int, default=2, help="symbolic parameter count m"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="fingerprint worker processes for the parallel run",
+    )
+    parser.add_argument(
+        "--verify-workers",
+        type=int,
+        default=1,
+        help="equivalence-verifier worker processes for the parallel run",
+    )
+    parser.add_argument(
+        "--artifact",
+        default=None,
+        help="also write the serial ECC JSON to this path (diff evidence)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.workers <= 1 and args.verify_workers <= 1:
+        print(
+            "nothing to compare: pass --workers and/or --verify-workers > 1",
+            file=sys.stderr,
+        )
+        return 2
+
+    serial = generate_json(
+        args.gate_set, args.n, args.q, args.num_params, workers=1, verify_workers=1
+    )
+    if args.artifact:
+        Path(args.artifact).write_text(serial, encoding="utf-8")
+    parallel = generate_json(
+        args.gate_set,
+        args.n,
+        args.q,
+        args.num_params,
+        workers=args.workers,
+        verify_workers=args.verify_workers,
+    )
+
+    label = (
+        f"workers={args.workers}/verify-workers={args.verify_workers} "
+        f"({args.gate_set} n={args.n} q={args.q} m={args.num_params})"
+    )
+    if parallel != serial:
+        print(
+            f"MISMATCH: {label} diverged from the serial ECC artifact "
+            f"({len(parallel)} vs {len(serial)} bytes)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"serial vs {label} ECC JSON byte-identical ({len(serial)} bytes)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,159 @@
+#!/usr/bin/env python
+"""Diff two micro-benchmark trajectory JSONs into a markdown delta table.
+
+CI runs ``benchmarks/test_micro_hotpaths.py`` on every push, which writes
+``.benchmarks/micro_hotpaths.json``.  This script compares the fresh file
+against the previous run's copy (restored from the actions cache) and
+appends a per-entry delta table to ``$GITHUB_STEP_SUMMARY``, so the perf
+trajectory is visible on every push without leaving the checks page.
+
+The comparison is **warn-only** — CI runner hardware jitters far too much
+for hard assertions (that is what ``REPRO_MICROBENCH=check`` is about); a
+regression beyond the threshold gets a ⚠ marker, never a red build.  The
+reference-container speedup pins in the benchmark file itself remain the
+hard gate.
+
+Usage::
+
+    python scripts/microbench_delta.py \
+        --current .benchmarks/micro_hotpaths.json \
+        --previous .benchmarks/previous/micro_hotpaths.json \
+        --summary "$GITHUB_STEP_SUMMARY"
+
+Missing files are tolerated: no previous artifact (first run, cache
+rotation) produces a note instead of a table, and the exit code is 0 in
+every non-usage-error case.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple
+
+#: A scalar metric is included when its key contains one of these words.
+METRIC_MARKERS = ("seconds", "ratio", "speedup")
+
+#: Relative change beyond which a "seconds" regression (or a ratio /
+#: speedup drop) earns a warning marker.  Warn-only: markers never fail CI.
+WARN_THRESHOLD = 0.25
+
+MetricMap = Dict[Tuple[str, str], float]
+
+
+def collect_metrics(data: dict) -> MetricMap:
+    """Flatten a trajectory JSON into ``(entry, metric) -> value``.
+
+    Only top-level entries (one per benchmark) are scanned, and only their
+    scalar timing/ratio fields — nested ``perf`` counter dicts, booleans
+    and bookkeeping like ``seed_baselines`` stay out of the table.
+    """
+    metrics: MetricMap = {}
+    for entry, payload in data.items():
+        if not isinstance(payload, dict) or entry == "seed_baselines":
+            continue
+        for key, value in payload.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            if any(marker in key for marker in METRIC_MARKERS):
+                metrics[(entry, key)] = float(value)
+    return metrics
+
+
+def _delta_cell(metric: str, previous: float, current: float) -> str:
+    if previous == 0:
+        return "n/a"
+    change = (current - previous) / abs(previous)
+    cell = f"{change:+.1%}"
+    # Larger is worse for wall-clock, better for ratios/speedups.
+    worse = change > WARN_THRESHOLD if "seconds" in metric else change < -WARN_THRESHOLD
+    return f"{cell} ⚠" if worse else cell
+
+
+def format_table(current: MetricMap, previous: MetricMap) -> str:
+    """Markdown delta table over the union of both runs' metrics."""
+    lines = [
+        "| entry | metric | previous | current | Δ |",
+        "| --- | --- | ---: | ---: | ---: |",
+    ]
+    for entry, metric in sorted(set(current) | set(previous)):
+        old = previous.get((entry, metric))
+        new = current.get((entry, metric))
+        old_cell = f"{old:.4g}" if old is not None else "—"
+        new_cell = f"{new:.4g}" if new is not None else "—"
+        delta = _delta_cell(metric, old, new) if old is not None and new is not None else "—"
+        lines.append(f"| {entry} | {metric} | {old_cell} | {new_cell} | {delta} |")
+    return "\n".join(lines)
+
+
+def render(current_path: Path, previous_path: Optional[Path]) -> str:
+    """The full markdown section for one comparison."""
+    header = "## Micro-benchmark trajectory\n"
+    try:
+        current = collect_metrics(
+            json.loads(current_path.read_text(encoding="utf-8"))
+        )
+    except (OSError, ValueError) as error:
+        return header + f"\nno current trajectory at `{current_path}` ({error})\n"
+    previous: MetricMap = {}
+    note = ""
+    if previous_path is None or not previous_path.exists():
+        note = (
+            "\n_No previous artifact (first run or trajectory-cache "
+            "rotation); showing current values only._\n"
+        )
+    else:
+        try:
+            previous = collect_metrics(
+                json.loads(previous_path.read_text(encoding="utf-8"))
+            )
+        except ValueError as error:
+            note = f"\n_Previous artifact unreadable ({error}); treated as empty._\n"
+    body = format_table(current, previous)
+    footer = (
+        "\n\n_Warn-only (runner hardware varies): ⚠ marks a change beyond "
+        f"{WARN_THRESHOLD:.0%}; the reference-container speedup pins in "
+        "`benchmarks/test_micro_hotpaths.py` are the hard gate._\n"
+    )
+    return header + note + "\n" + body + footer
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python scripts/microbench_delta.py",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--current",
+        default=".benchmarks/micro_hotpaths.json",
+        help="trajectory JSON produced by this run",
+    )
+    parser.add_argument(
+        "--previous",
+        default=None,
+        help="trajectory JSON restored from the previous run (may not exist)",
+    )
+    parser.add_argument(
+        "--summary",
+        default=None,
+        help="append the markdown here (e.g. $GITHUB_STEP_SUMMARY); default stdout",
+    )
+    args = parser.parse_args(argv)
+
+    markdown = render(
+        Path(args.current),
+        Path(args.previous) if args.previous else None,
+    )
+    if args.summary:
+        with open(args.summary, "a", encoding="utf-8") as handle:
+            handle.write(markdown + "\n")
+    else:
+        sys.stdout.write(markdown + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -31,6 +31,7 @@ from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Union
 
 from repro.envconfig import (
+    env_batched_optional,
     env_cache_dir,
     env_cache_enabled,
     env_scale,
@@ -114,6 +115,9 @@ class RunConfig:
 
     gate_set: Union[str, GateSet] = "nam"
     backend: str = "numpy"
+    #: Batched multi-state fingerprint evaluation (None: read
+    #: ``REPRO_BATCHED`` at run time; default on, bit-identical on numpy).
+    batched: Optional[bool] = None
     preprocess: bool = True
     verify_output: bool = True
     scale: Optional[str] = None  # informational: the REPRO_SCALE preset name
@@ -133,12 +137,14 @@ class RunConfig:
 
         This is the single environment-reading path of the public API:
         ``REPRO_GEN_WORKERS`` / ``REPRO_VERIFY_WORKERS`` (invalid/negative
-        values warn and mean serial), ``REPRO_CACHE_DIR``,
+        values warn and mean serial), ``REPRO_BATCHED`` (batched
+        multi-state fingerprinting, default on), ``REPRO_CACHE_DIR``,
         ``REPRO_CACHE_DISABLE`` (only truthy values disable) and
         ``REPRO_SCALE``.  ``overrides`` win over the environment.
         """
         config = cls(
             scale=env_scale(),
+            batched=env_batched_optional(),
             generation=GenerationConfig(
                 workers=env_workers_optional(),
                 verify_workers=env_verify_workers_optional(),

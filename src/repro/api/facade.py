@@ -45,6 +45,7 @@ from repro.perf import PerfRecorder
 from repro.preprocess import SUPPORTED_GATE_SETS as PREPROCESS_GATE_SETS
 from repro.preprocess import preprocess as run_preprocess
 from repro.semantics.backend import circuits_equivalent_statevector, get_backend
+from repro.semantics.fingerprint import resolve_batched
 
 _UNSET = object()
 
@@ -70,8 +71,25 @@ def _resolve_gate_set(gate_set: Union[str, GateSet]) -> GateSet:
     return gate_set if isinstance(gate_set, GateSet) else get_gate_set(gate_set)
 
 
+def _batch_variant(backend: str, batched: Optional[bool]) -> bool:
+    """Whether batching makes this run a distinct output variant.
+
+    Mirrors :func:`repro.generator.cache.backend_kind`: on backends whose
+    batched kernels are bit-identical to the per-state path (numpy) the
+    knob cannot change the generated ECC set, so batched and per-state
+    runs share memo entries and cache blobs; on fused-kernel backends they
+    are kept apart.
+    """
+    return bool(
+        resolve_batched(batched) and not get_backend(backend).batch_bit_identical
+    )
+
+
 def _memo_key(
-    gate_set: GateSet, generation: GenerationConfig, backend: str
+    gate_set: GateSet,
+    generation: GenerationConfig,
+    backend: str,
+    batched: Optional[bool] = None,
 ) -> Tuple:
     m = (
         generation.num_params
@@ -85,6 +103,7 @@ def _memo_key(
         m,
         generation.seed,
         backend,
+        _batch_variant(backend, batched),
     )
 
 
@@ -111,12 +130,13 @@ def run_generation(
     generation: Optional[GenerationConfig] = None,
     *,
     backend: str = "numpy",
+    batched: Optional[bool] = None,
 ) -> GeneratorResult:
     """Run RepGen (memoized in memory and on disk) for a configuration."""
     gate_set = _resolve_gate_set(gate_set)
     generation = generation or GenerationConfig()
     backend = get_backend(backend).name
-    key = _memo_key(gate_set, generation, backend)
+    key = _memo_key(gate_set, generation, backend, batched)
     cached = _RESULT_MEMO.get(key)
     if cached is not None:
         return cached
@@ -128,6 +148,7 @@ def run_generation(
         workers=generation.workers,
         verify_workers=generation.verify_workers,
         backend=backend,
+        batched=batched,
     )
     disk_cache = ECCCache(
         generation.cache_dir,
@@ -146,15 +167,16 @@ def generate_ecc_set(
     generation: Optional[GenerationConfig] = None,
     *,
     backend: str = "numpy",
+    batched: Optional[bool] = None,
 ) -> GenerationOutcome:
     """The (optionally pruned) ECC set for a configuration, with provenance."""
     gate_set = _resolve_gate_set(gate_set)
     generation = generation or GenerationConfig()
     backend = get_backend(backend).name
-    key = _memo_key(gate_set, generation, backend)
+    key = _memo_key(gate_set, generation, backend, batched)
     if not generation.prune:
         memoized_result = key in _RESULT_MEMO
-        result = run_generation(gate_set, generation, backend=backend)
+        result = run_generation(gate_set, generation, backend=backend, batched=batched)
         source = _result_source(result, memoized_result)
         return GenerationOutcome(result.ecc_set, result.stats, source)
 
@@ -165,7 +187,12 @@ def generate_ecc_set(
     m = key[3]
     disk_cache = ECCCache(generation.cache_dir, enabled=generation.cache_enabled)
     pruned_key = cache_key(
-        backend_kind("pruned", backend),
+        backend_kind(
+            "pruned",
+            backend,
+            batched=resolve_batched(batched),
+            batch_bit_identical=get_backend(backend).batch_bit_identical,
+        ),
         gate_set,
         generation.n,
         generation.q,
@@ -178,7 +205,7 @@ def generate_ecc_set(
         return GenerationOutcome(cached, None, "disk")
 
     memoized_result = key in _RESULT_MEMO
-    result = run_generation(gate_set, generation, backend=backend)
+    result = run_generation(gate_set, generation, backend=backend, batched=batched)
     source = _result_source(result, memoized_result)
     ecc_set = prune_common_subcircuits(simplify_ecc_set(result.ecc_set))
     disk_cache.store_ecc_set(pruned_key, ecc_set)
@@ -191,9 +218,12 @@ def build_ecc_set(
     generation: Optional[GenerationConfig] = None,
     *,
     backend: str = "numpy",
+    batched: Optional[bool] = None,
 ) -> ECCSet:
     """Convenience wrapper returning just the ECC set."""
-    return generate_ecc_set(gate_set, generation, backend=backend).ecc_set
+    return generate_ecc_set(
+        gate_set, generation, backend=backend, batched=batched
+    ).ecc_set
 
 
 @dataclass
@@ -259,7 +289,8 @@ class RunReport:
             f"gate count {self.input_circuit.gate_count} -> "
             f"{self.preprocessed_circuit.gate_count} (preprocess) -> "
             f"{self.circuit.gate_count} (search)",
-            f"strategy {p.get('strategy')!r} on backend {p.get('backend')!r}: "
+            f"strategy {p.get('strategy')!r} on backend {p.get('backend')!r} "
+            f"({'batched' if p.get('batched') else 'per-state'}): "
             f"{self.search_result.iterations} iterations, "
             f"{self.search_result.circuits_explored} circuits explored"
             + (", timed out" if self.timed_out else ""),
@@ -306,8 +337,11 @@ class Superoptimizer:
             config = config.with_overrides(**overrides)
         self.config = config
         # Fail fast on unknown names: resolve the backend and build the
-        # strategy once (both are reusable across optimize() calls).
+        # strategy once (both are reusable across optimize() calls).  The
+        # batch flag is snapshotted here too, so one facade's provenance
+        # cannot drift if the environment changes between calls.
         self._backend_name = get_backend(config.backend).name
+        self._batched = resolve_batched(config.batched)
         self._strategy: SearchStrategy = get_strategy(
             config.search.strategy, **config.search.options_for()
         )
@@ -319,7 +353,10 @@ class Superoptimizer:
     def generate(self) -> GeneratorResult:
         """The raw (unpruned) RepGen result for this configuration."""
         return run_generation(
-            self.config.gate_set, self.config.generation, backend=self._backend_name
+            self.config.gate_set,
+            self.config.generation,
+            backend=self._backend_name,
+            batched=self._batched,
         )
 
     def ecc_set(self) -> ECCSet:
@@ -344,6 +381,7 @@ class Superoptimizer:
                 self.config.gate_set,
                 self.config.generation,
                 backend=self._backend_name,
+                batched=self._batched,
             )
         return self._generation_outcome
 
@@ -440,9 +478,16 @@ class Superoptimizer:
         )
 
         generation = config.generation
+        backend = get_backend(self._backend_name)
         provenance: Dict[str, Any] = {
             "gate_set": config.gate_set_name,
             "backend": self._backend_name,
+            # The active batch path: whether the run fingerprinted through
+            # the backend's batched multi-state kernels, and what kind of
+            # kernels those are ("vectorized" numpy / "jit" numba /
+            # "per-state" generic loop).
+            "batched": self._batched,
+            "batch_kind": backend.batch_kind if self._batched else "per-state",
             "strategy": self._strategy.name,
             "n": generation.n,
             "q": generation.q,

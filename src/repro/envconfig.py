@@ -7,6 +7,10 @@ the semantics of a knob cannot drift between call sites:
   (non-integers and negatives warn and fall back to serial);
 * ``REPRO_VERIFY_WORKERS`` — equivalence-verifier worker processes per
   RepGen run (same parsing rules as ``REPRO_GEN_WORKERS``);
+* ``REPRO_BATCHED``       — boolean flag (default on): evaluate fingerprint
+  candidates through the backend's batched multi-state kernels instead of
+  one gate application per candidate (bit-identical on the reference
+  ``numpy`` backend);
 * ``REPRO_CACHE_DIR``     — persistent ECC cache directory;
 * ``REPRO_CACHE_DISABLE`` — boolean flag; **only truthy values disable**
   the cache, so ``REPRO_CACHE_DISABLE=0`` / ``=false`` / ``=off`` mean
@@ -29,6 +33,7 @@ from typing import Optional
 
 WORKERS_ENV_VAR = "REPRO_GEN_WORKERS"
 VERIFY_WORKERS_ENV_VAR = "REPRO_VERIFY_WORKERS"
+BATCHED_ENV_VAR = "REPRO_BATCHED"
 CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
 CACHE_DISABLE_ENV_VAR = "REPRO_CACHE_DISABLE"
 SCALE_ENV_VAR = "REPRO_SCALE"
@@ -113,6 +118,24 @@ def env_verify_workers(*, default: int = 1) -> int:
 def env_verify_workers_optional() -> Optional[int]:
     """Verifier worker count from the environment, or None when unset."""
     return _env_worker_count(VERIFY_WORKERS_ENV_VAR, None)
+
+
+def env_batched(*, default: bool = True) -> bool:
+    """Whether batched multi-state fingerprinting is enabled (``REPRO_BATCHED``).
+
+    The batched path is on by default: on the reference ``numpy`` backend it
+    is bit-identical to the per-state path, so turning it off is purely a
+    debugging/measurement aid.
+    """
+    return env_flag(BATCHED_ENV_VAR, default=default)
+
+
+def env_batched_optional() -> Optional[bool]:
+    """Batched flag from the environment, or None when the knob is unset."""
+    raw = os.environ.get(BATCHED_ENV_VAR)
+    if raw is None:
+        return None
+    return parse_bool(raw, default=True, name=BATCHED_ENV_VAR)
 
 
 def env_cache_dir(*, default: str = DEFAULT_CACHE_DIR) -> str:

@@ -32,6 +32,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro.envconfig import (
+    BATCHED_ENV_VAR,
     CACHE_DIR_ENV_VAR,
     CACHE_DISABLE_ENV_VAR,
     VERIFY_WORKERS_ENV_VAR,
@@ -70,6 +71,15 @@ def _add_shared_flags(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="neither read nor write the persistent .repro_cache/ store",
     )
+    parser.add_argument(
+        "--no-batch",
+        action="store_true",
+        help=(
+            "evaluate fingerprints per state instead of through the "
+            "backend's batched multi-state kernels (default: REPRO_BATCHED, "
+            "else batched)"
+        ),
+    )
     parser.add_argument("--json", action="store_true", help="emit JSON instead of text")
 
 
@@ -88,6 +98,8 @@ def _apply_shared_flags(args: argparse.Namespace) -> None:
         os.environ[WORKERS_ENV_VAR] = str(args.workers)
     if args.verify_workers is not None:
         os.environ[VERIFY_WORKERS_ENV_VAR] = str(args.verify_workers)
+    if args.no_batch:
+        os.environ[BATCHED_ENV_VAR] = "0"
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -155,6 +167,7 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     config = RunConfig.from_env().with_overrides(
         gate_set=args.gate_set,
         backend=args.backend,
+        **({"batched": False} if args.no_batch else {}),
         generation=generation_overrides,
         search={
             "strategy": args.strategy,
@@ -176,22 +189,41 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
 def _cmd_registry(args: argparse.Namespace) -> int:
     """List the pluggable backends and strategies this build offers."""
     from repro.api import available_strategies, backend_available
-    from repro.semantics.backend import registered_backends
+    from repro.envconfig import env_batched
+    from repro.semantics.backend import get_backend, registered_backends
 
-    backends = {
-        name: backend_available(name) for name in registered_backends()
-    }
+    batched = env_batched()
+    backends = {}
+    for name in registered_backends():
+        available = backend_available(name)
+        entry = {"available": available}
+        if available:
+            backend = get_backend(name)
+            # The batch path this backend would run with the active knob:
+            # its kernel kind when batching is on, the per-state loop
+            # otherwise — plus whether batching can change hash keys.
+            entry["batch_kind"] = backend.batch_kind if batched else "per-state"
+            entry["batch_bit_identical"] = backend.batch_bit_identical
+        backends[name] = entry
     payload = {
         "backends": backends,
+        "batched": batched,
         "strategies": available_strategies(),
     }
     if args.json:
         json.dump(payload, sys.stdout, indent=2, sort_keys=True)
         print()
     else:
+        print(f"batched fingerprinting: {'on' if batched else 'off'}")
         print("simulator backends:")
-        for name, available in sorted(backends.items()):
-            print(f"  {name:<14s} {'available' if available else 'unavailable'}")
+        for name, entry in sorted(backends.items()):
+            if entry["available"]:
+                detail = f"available  batch={entry['batch_kind']}"
+                if batched and not entry["batch_bit_identical"]:
+                    detail += " (own cache namespace)"
+            else:
+                detail = "unavailable"
+            print(f"  {name:<14s} {detail}")
         print("search strategies:")
         for name in payload["strategies"]:
             print(f"  {name}")

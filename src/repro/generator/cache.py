@@ -91,17 +91,28 @@ class CacheKey:
         )
 
 
-def backend_kind(base: str, backend: str) -> str:
-    """Cache ``kind`` namespacing a blob by simulator backend.
+def backend_kind(
+    base: str, backend: str, *, batched: bool = False, batch_bit_identical: bool = True
+) -> str:
+    """Cache ``kind`` namespacing a blob by simulator backend and batch path.
 
     The reference ``"numpy"`` backend keeps the bare kind (so existing
     blobs stay valid); any other backend gets its own namespace
     (``repgen@numba``, ``pruned@numba``, ...), because its floating-point
     arithmetic — and hence the fingerprint bucketing — may differ from the
-    reference backend's.  The single authority for this rule; both RepGen
-    and the facade derive their kinds here.
+    reference backend's.  The same rule applies one level down: when the
+    batched kernels of a backend are *not* bit-identical to its per-state
+    path (``batch_bit_identical`` False, e.g. numba's fused kernels), a
+    batched run gets a further ``+batch`` namespace so it can never serve
+    or poison a per-state run's blobs.  Backends whose batching is
+    bit-identical (numpy) share one namespace regardless of the knob.
+    The single authority for this rule; both RepGen and the facade derive
+    their kinds here.
     """
-    return base if backend == "numpy" else f"{base}@{backend}"
+    kind = base if backend == "numpy" else f"{base}@{backend}"
+    if batched and not batch_bit_identical:
+        kind += "+batch"
+    return kind
 
 
 def cache_key(

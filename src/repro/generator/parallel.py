@@ -74,28 +74,41 @@ def _init_worker(context_spec: dict) -> None:
     _WORKER_CONTEXT = FingerprintContext.from_spec(context_spec)
 
 
-def _hash_keys_for_job(job: FingerprintJob):
-    """Hash keys and evolved states for every candidate of a job.
+def _hash_keys_for_chunk(chunk: Sequence[FingerprintJob]):
+    """Hash keys and evolved states for every candidate of a chunk of jobs.
 
-    The parent's evolved state is replayed once per job (bit-identical to
-    the serial generator's incrementally-built state) and shared by all of
-    the parent's candidates through the worker context's state cache.  The
-    candidate statevectors ride back alongside the keys (2^q amplitudes
-    each — tiny at the q this generator targets) so the main process can
-    seed its own fingerprint cache: the verifier's numeric phase screen
-    reuses those states during the ECC inserts, exactly as it does after a
-    serial round.
+    Each parent's evolved state is replayed once (bit-identical to the
+    serial generator's incrementally-built state) and shared by all of the
+    parent's candidates through the worker context's state cache.  When the
+    context runs batched, the whole chunk goes through one
+    :meth:`~repro.semantics.fingerprint.FingerprintContext.hash_keys_batched`
+    call, so candidates are grouped by instruction *across* the chunk's
+    parents and per-gate dispatch is paid once per distinct instruction —
+    this is why the pool ships explicit multi-job chunks instead of letting
+    ``Pool.map`` split jobs one by one.  The candidate statevectors ride
+    back alongside the keys (2^q amplitudes each — tiny at the q this
+    generator targets) so the main process can seed its own fingerprint
+    cache: the verifier's numeric phase screen reuses those states during
+    the ECC inserts, exactly as it does after a serial round.
     """
     context = _WORKER_CONTEXT
     assert context is not None, "worker pool used before initialization"
-    parent, instructions = job
-    keys = [context.hash_key_appended(parent, inst) for inst in instructions]
-    parent_key = parent.sequence_key()
-    states = [
-        context.cached_state(parent_key + (inst.sort_key(),))
-        for inst in instructions
-    ]
-    return keys, states
+    if context.batched:
+        keys_per_job = context.hash_keys_batched(chunk)
+    else:
+        keys_per_job = [
+            [context.hash_key_appended(parent, inst) for inst in instructions]
+            for parent, instructions in chunk
+        ]
+    results = []
+    for (parent, instructions), keys in zip(chunk, keys_per_job):
+        parent_key = parent.sequence_key()
+        states = [
+            context.cached_state(parent_key + (inst.sort_key(),))
+            for inst in instructions
+        ]
+        results.append((keys, states))
+    return results
 
 
 # -- parent side -------------------------------------------------------------
@@ -124,14 +137,21 @@ class ParallelFingerprintPool:
     def hash_keys(self, jobs: Sequence[FingerprintJob]) -> List[Tuple[List[int], list]]:
         """Per job, in job order: (hash keys, candidate evolved states).
 
-        Job order is what makes the parent's merge deterministic.  A state
-        entry may be None if the worker's cache evicted it (only possible
-        when a single parent has more extensions than the cache bound).
+        Job order is what makes the parent's merge deterministic.  Jobs are
+        sharded in explicit contiguous chunks (the sizing ``Pool.map``
+        would have used) so a batched worker context can group candidates
+        by instruction across every parent of its chunk.  A state entry may
+        be None if the worker's cache evicted it — possible when one
+        parent's extensions (per-state path) or one chunk's total
+        candidates (batched path) exceed the cache bound; unseeded states
+        are simply recomputed by the parent on demand.
         """
         if not jobs:
             return []
-        chunksize = max(1, len(jobs) // (self.workers * 4))
-        return self._pool.map(_hash_keys_for_job, jobs, chunksize=chunksize)
+        chunk_size = max(1, len(jobs) // (self.workers * 4))
+        chunks = [jobs[i : i + chunk_size] for i in range(0, len(jobs), chunk_size)]
+        per_chunk = self._pool.map(_hash_keys_for_chunk, chunks, chunksize=1)
+        return [job_result for chunk_result in per_chunk for job_result in chunk_result]
 
     def close(self) -> None:
         self._pool.terminate()

@@ -123,6 +123,12 @@ class RepGen:
             their own persistent-cache namespace, since their floating
             point arithmetic — and hence the fingerprint bucketing — may
             differ from the reference backend's.
+        batched: evaluate each round's candidates through the backend's
+            batched multi-state kernels (None reads ``REPRO_BATCHED``,
+            default on).  Bit-identical to the per-state path on the numpy
+            backend; fused-kernel backends (numba) get a dedicated
+            persistent-cache namespace when batching is on, since their
+            batched arithmetic may bucket differently.
     """
 
     def __init__(
@@ -136,6 +142,7 @@ class RepGen:
         workers: Optional[int] = None,
         verify_workers: Optional[int] = None,
         backend: str = "numpy",
+        batched: Optional[bool] = None,
     ) -> None:
         self.gate_set = gate_set
         self.num_qubits = num_qubits
@@ -150,11 +157,20 @@ class RepGen:
         self.param_spec = param_spec or ParamSpec(self.num_params)
         self.perf = PerfRecorder()
         self.fingerprints = FingerprintContext(
-            num_qubits, self.num_params, seed=seed, backend=backend, perf=self.perf
+            num_qubits,
+            self.num_params,
+            seed=seed,
+            backend=backend,
+            batched=batched,
+            perf=self.perf,
         )
         self.backend_name = self.fingerprints.backend_name
+        self.batched = self.fingerprints.batched
         self.verifier = verifier or EquivalenceVerifier(
-            self.num_params, backend=self.backend_name, perf=self.perf
+            self.num_params,
+            backend=self.backend_name,
+            batched=self.batched,
+            perf=self.perf,
         )
         # Share the fingerprint context with the verifier: its numeric phase
         # screen then reuses the evolved states the generator already cached
@@ -236,7 +252,12 @@ class RepGen:
 
     def _cache_key(self, max_gates: int) -> CacheKey:
         return cache_key(
-            backend_kind("repgen", self.backend_name),
+            backend_kind(
+                "repgen",
+                self.backend_name,
+                batched=self.batched,
+                batch_bit_identical=self.fingerprints.backend.batch_bit_identical,
+            ),
             self.gate_set,
             max_gates,
             self.num_qubits,
@@ -569,6 +590,13 @@ class RepGen:
                     stacklevel=3,
                 )
                 self.perf.count("repgen.parallel.round_failures")
+        if self.batched:
+            # One batched evaluation for the whole round: candidates are
+            # grouped by instruction inside the context, so per-gate
+            # dispatch is paid once per distinct instruction.  Candidate
+            # states land in the shared cache exactly like the per-state
+            # path (the verifier's phase screen reuses them).
+            return self.fingerprints.hash_keys_batched(jobs)
         return [
             [
                 self.fingerprints.hash_key_appended(parent, inst)

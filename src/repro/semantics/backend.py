@@ -3,8 +3,10 @@
 The fingerprint loop and the numeric screens spend essentially all of their
 time applying small gate matrices to statevectors.  This module abstracts
 that hot path behind a :class:`SimulatorBackend` protocol — ``apply_gate``,
-``apply_circuit``, ``circuit_unitary``, ``random_state`` — with a registry
-of interchangeable implementations:
+``apply_circuit``, ``circuit_unitary``, ``random_state``, plus the batched
+multi-state API ``apply_gate_batch`` / ``apply_circuit_batch`` /
+``inner_product_batch`` operating on ``(num_states, 2**q)`` stacks — with a
+registry of interchangeable implementations:
 
 * ``"numpy"`` — the reference implementation (the exact code path the seed
   revision used, so fingerprint hash keys stay bit-identical);
@@ -43,12 +45,27 @@ class BackendUnavailableError(RuntimeError):
 class SimulatorBackend:
     """Base class / protocol for statevector-simulation backends.
 
-    Subclasses must implement :meth:`apply_gate`; the circuit-level
-    operations have generic implementations in terms of it.  ``name`` is
-    the registry key and appears in fingerprint specs and run reports.
+    Subclasses must implement :meth:`apply_gate`; the circuit-level and
+    batched multi-state operations have generic implementations in terms of
+    it.  ``name`` is the registry key and appears in fingerprint specs and
+    run reports.
+
+    The batched API (:meth:`apply_gate_batch`, :meth:`apply_circuit_batch`,
+    :meth:`inner_product_batch`) operates on a ``(num_states, 2**q)``
+    stacked array so one call amortizes per-gate dispatch over the whole
+    stack.  ``batch_bit_identical`` declares whether a backend's batched
+    kernels perform the exact floating-point operations of its per-state
+    path (the generic loop trivially does; a fused kernel like numba's may
+    reorder arithmetic) — consumers that cache results by hash key use it
+    to decide whether batched and per-state runs may share a namespace.
     """
 
     name: str = "abstract"
+    #: How the batched API is implemented: "per-state" (generic loop),
+    #: "vectorized" (numpy broadcast) or "jit" (compiled kernel).
+    batch_kind: str = "per-state"
+    #: Whether the batched kernels are bit-identical to the per-state path.
+    batch_bit_identical: bool = True
 
     def apply_gate(
         self,
@@ -81,15 +98,78 @@ class SimulatorBackend:
         circuit: Circuit,
         param_values: Sequence[float] | Mapping[int, float] = (),
     ) -> np.ndarray:
-        """Full unitary of a circuit, built by evolving every basis state."""
+        """Full unitary of a circuit, built by evolving every basis state.
+
+        All ``2^q`` basis states ride through :meth:`apply_circuit_batch` in
+        one stack, so the per-gate dispatch is paid once per gate instead of
+        once per gate per column.  Note this primitive always batches — it
+        is not governed by the fingerprint-path ``REPRO_BATCHED`` knob — so
+        on a backend whose batch kernels are not bit-identical (numba) the
+        floats may differ by ulps from per-column ``apply_circuit`` calls;
+        callers needing the per-state arithmetic evolve columns themselves.
+        """
+        dim = 1 << circuit.num_qubits
+        basis = np.eye(dim, dtype=complex)
+        return self.apply_circuit_batch(circuit, basis, param_values).T.copy()
+
+    # -- batched multi-state operations --------------------------------------
+
+    def apply_gate_batch(
+        self,
+        states: np.ndarray,
+        matrix: np.ndarray,
+        qubits: Sequence[int],
+        num_qubits: int,
+    ) -> np.ndarray:
+        """Apply one gate matrix to a ``(num_states, 2**q)`` stack of states.
+
+        The generic implementation loops :meth:`apply_gate` over the rows —
+        trivially bit-identical to the per-state path; fast backends
+        override with a fused kernel.
+        """
+        if states.shape[0] == 1:
+            # Degenerate batch: operate on a view of the single row so no
+            # stacked copy is allocated on the way in or out.
+            return self.apply_gate(states[0], matrix, qubits, num_qubits)[None]
+        return np.stack(
+            [self.apply_gate(state, matrix, qubits, num_qubits) for state in states]
+        )
+
+    def apply_circuit_batch(
+        self,
+        circuit: Circuit,
+        states: np.ndarray,
+        param_values: Sequence[float] | Mapping[int, float] = (),
+    ) -> np.ndarray:
+        """Apply a circuit to a stack of statevectors, gate by gate.
+
+        Each gate matrix is evaluated once for the whole stack, so a run
+        over k states pays the per-gate dispatch once instead of k times.
+        """
         num_qubits = circuit.num_qubits
-        dim = 1 << num_qubits
-        unitary = np.empty((dim, dim), dtype=complex)
-        for column in range(dim):
-            basis = np.zeros(dim, dtype=complex)
-            basis[column] = 1.0
-            unitary[:, column] = self.apply_circuit(circuit, basis, param_values)
-        return unitary
+        if states.ndim != 2 or states.shape[1] != (1 << num_qubits):
+            raise ValueError(
+                "states must be a (num_states, 2**num_qubits) stacked array"
+            )
+        current = np.array(states, dtype=complex)
+        for inst in circuit.instructions:
+            gate_matrix = instruction_unitary(inst, param_values)
+            current = self.apply_gate_batch(
+                current, gate_matrix, inst.qubits, num_qubits
+            )
+        return current
+
+    def inner_product_batch(self, bra: np.ndarray, states: np.ndarray) -> np.ndarray:
+        """``<bra|state_i>`` for every row of a ``(num_states, dim)`` stack.
+
+        The generic implementation performs one ``np.vdot`` per row — the
+        exact operation (and float result) of the per-state path.  A BLAS
+        matrix-vector product would reorder the accumulation, so backends
+        may only override this with a kernel when they also declare
+        ``batch_bit_identical = False`` (see the numba backend's jitted
+        reduction).
+        """
+        return np.array([np.vdot(bra, state) for state in states], dtype=complex)
 
     def random_state(self, num_qubits: int, rng: np.random.Generator) -> np.ndarray:
         """Haar-ish random state — shared across backends (see module doc)."""
@@ -100,12 +180,25 @@ class SimulatorBackend:
 
 
 class NumpyBackend(SimulatorBackend):
-    """The reference backend: vectorized numpy (bit-identical to the seed)."""
+    """The reference backend: vectorized numpy (bit-identical to the seed).
+
+    Its batched gate kernel broadcasts the stack through one ``np.matmul``
+    whose per-state slices have the exact shapes of the per-state path, so
+    batching is bit-identical here (``batch_bit_identical`` stays True and
+    fingerprint hash keys do not depend on whether batching is enabled).
+    """
 
     name = "numpy"
+    batch_kind = "vectorized"
+    batch_bit_identical = True
 
     def apply_gate(self, state, matrix, qubits, num_qubits):
         return _numpy_sim._apply_gate_to_state(state, matrix, qubits, num_qubits)
+
+    def apply_gate_batch(self, states, matrix, qubits, num_qubits):
+        return _numpy_sim._apply_gate_to_state_batch(
+            states, matrix, qubits, num_qubits
+        )
 
     def apply_circuit(self, circuit, state, param_values=()):
         return _numpy_sim.apply_circuit(circuit, state, param_values)

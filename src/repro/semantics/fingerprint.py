@@ -25,16 +25,33 @@ operations as a full replay (memoization does not reorder arithmetic), so
 its hash keys are bit-identical to the non-incremental path; a sampling
 cross-check (every ``cross_check_interval`` incremental evaluations) guards
 that invariant at runtime.
+
+Batched evaluation
+------------------
+
+A RepGen round asks for the hash keys of thousands of candidates at once,
+and the same single-gate instruction extends many different parents.  The
+batched path (:meth:`hash_keys_batched`, on by default, knob
+``REPRO_BATCHED``) groups a round's candidates by instruction, stacks the
+parents' cached states into a ``(num_states, 2**q)`` array and evaluates
+each group with one ``apply_gate_batch`` + ``inner_product_batch`` call —
+per-gate dispatch is paid once per distinct instruction instead of once
+per candidate.  On backends that declare ``batch_bit_identical`` (the
+reference numpy backend does) the batched amplitudes are the same floats
+as the per-state path, so hash keys do not depend on the knob; the
+sampling cross-check covers the batched path too.  Groups of a single
+state skip the stacking entirely and take the per-state kernel on a view.
 """
 
 from __future__ import annotations
 
 import math
 from collections import OrderedDict
-from typing import Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.envconfig import env_batched
 from repro.ir.circuit import Circuit, Instruction
 from repro.perf import NULL_RECORDER, PerfRecorder
 from repro.semantics.backend import DEFAULT_BACKEND, SimulatorBackend, get_backend
@@ -47,6 +64,15 @@ DEFAULT_STATE_CACHE_SIZE = 1 << 15
 
 #: Default sampling interval for the incremental-vs-full cross-check.
 DEFAULT_CROSS_CHECK_INTERVAL = 1024
+
+
+def resolve_batched(batched: Optional[bool] = None) -> bool:
+    """Resolve the batched-evaluation flag: explicit argument, else env.
+
+    ``None`` reads ``REPRO_BATCHED`` (default on); anything else is taken
+    at face value.  Mirrors ``resolve_workers`` for the worker knobs.
+    """
+    return env_batched() if batched is None else bool(batched)
 
 
 class FingerprintContext:
@@ -62,6 +88,7 @@ class FingerprintContext:
         state_cache_size: int = DEFAULT_STATE_CACHE_SIZE,
         cross_check_interval: int = DEFAULT_CROSS_CHECK_INTERVAL,
         backend: str | SimulatorBackend = DEFAULT_BACKEND,
+        batched: Optional[bool] = None,
         perf: Optional[PerfRecorder] = None,
     ) -> None:
         self.num_qubits = num_qubits
@@ -73,6 +100,15 @@ class FingerprintContext:
         # every backend fingerprints against the same |psi0>, |psi1>.
         self._backend = get_backend(backend)
         self.backend_name = self._backend.name
+        self.batched = resolve_batched(batched)
+        # Whether the backend ships a real fused inner-product kernel.  The
+        # generic base implementation is the same per-row np.vdot loop the
+        # per-state path performs, so batching *reductions* through it would
+        # only add a stacking allocation for zero gain.
+        self._fused_inner_product = (
+            type(self._backend).inner_product_batch
+            is not SimulatorBackend.inner_product_batch
+        )
         rng = np.random.default_rng(seed)
         self.param_values: list[float] = list(
             rng.uniform(-math.pi, math.pi, size=max(num_params, 1))
@@ -84,6 +120,11 @@ class FingerprintContext:
         self.perf = perf if perf is not None else NULL_RECORDER
         self._state_cache: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
         self._incremental_evals = 0
+
+    @property
+    def backend(self) -> SimulatorBackend:
+        """The resolved backend instance this context evaluates on."""
+        return self._backend
 
     # -- worker initialization / pickling ------------------------------------
 
@@ -102,6 +143,7 @@ class FingerprintContext:
             "state_cache_size": self.state_cache_size,
             "cross_check_interval": self.cross_check_interval,
             "backend": self.backend_name,
+            "batched": self.batched,
         }
 
     @classmethod
@@ -114,6 +156,9 @@ class FingerprintContext:
             state_cache_size=spec["state_cache_size"],
             cross_check_interval=spec["cross_check_interval"],
             backend=spec.get("backend", DEFAULT_BACKEND),
+            # Old specs predate the batched path; True matches the current
+            # default and is bit-identical on the backends they named.
+            batched=spec.get("batched", True),
         )
 
     def __reduce__(self):
@@ -177,6 +222,25 @@ class FingerprintContext:
         self.perf.count("fingerprint.evals")
         return complex(np.vdot(self.psi0, self.evolved_state(circuit)))
 
+    def amplitudes(self, circuits: Sequence[Circuit]) -> List[complex]:
+        """Amplitudes of several circuits, reduced in one batched call.
+
+        The evolved states come from the per-circuit cache exactly as in
+        :meth:`amplitude`; only the final ``<psi0|.>`` reductions are
+        batched, and only on backends that ship a real fused
+        ``inner_product_batch`` kernel (numba's jitted reduction).  Backends
+        on the generic per-row ``np.vdot`` implementation (numpy) keep the
+        plain per-state reductions — bit-identical and with no stacking
+        allocation.
+        """
+        states = [self.evolved_state(circuit) for circuit in circuits]
+        self.perf.count("fingerprint.evals", len(states))
+        if not self.batched or len(states) < 2 or not self._fused_inner_product:
+            return [complex(np.vdot(self.psi0, state)) for state in states]
+        self.perf.count("fingerprint.batched.inner_products")
+        amps = self._backend.inner_product_batch(self.psi0, np.stack(states))
+        return [complex(amp) for amp in amps]
+
     def fingerprint(self, circuit: Circuit) -> float:
         """The real-valued fingerprint (modulus of the amplitude)."""
         return abs(self.amplitude(circuit))
@@ -236,23 +300,131 @@ class FingerprintContext:
         )
 
     def _cross_check(
-        self, parent: Circuit, inst: Instruction, incremental_state: np.ndarray
+        self,
+        parent: Circuit,
+        inst: Instruction,
+        incremental_state: np.ndarray,
+        *,
+        exact: bool = True,
     ) -> None:
-        """Verify the incremental state against a from-scratch replay."""
+        """Verify the incremental state against a from-scratch replay.
+
+        ``exact=False`` is used for batched states on backends whose fused
+        kernels reorder arithmetic (``batch_bit_identical`` False): those
+        may drift by ulps from the per-state replay, but anything
+        approaching ``e_max`` would corrupt bucket assignment and raises.
+        """
         self.perf.count("fingerprint.cross_checks")
         replayed = self._backend.apply_circuit(
             parent.appended(inst), self.psi1, self.param_values
         )
-        if not np.array_equal(replayed, incremental_state):
-            # Bit-identity is the expected invariant; tolerate nothing less
-            # than e_max (which would corrupt bucket assignment) and flag
-            # even tiny drift loudly.
-            drift = float(np.max(np.abs(replayed - incremental_state)))
-            raise RuntimeError(
-                "incremental fingerprint state diverged from full replay "
-                f"(max |delta| = {drift:.3e}); the state cache is stale or "
-                "a gate matrix was mutated in place"
-            )
+        if np.array_equal(replayed, incremental_state):
+            return
+        drift = float(np.max(np.abs(replayed - incremental_state)))
+        if not exact and drift <= 0.5 * self.e_max:
+            return
+        raise RuntimeError(
+            "incremental fingerprint state diverged from full replay "
+            f"(max |delta| = {drift:.3e}); the state cache is stale or "
+            "a gate matrix was mutated in place"
+        )
+
+    # -- batched path ---------------------------------------------------------
+
+    def hash_keys_batched(
+        self, jobs: Sequence[Tuple[Circuit, Sequence[Instruction]]]
+    ) -> List[List[int]]:
+        """Bucket keys for every ``(parent, extensions)`` job, batch-evaluated.
+
+        The drop-in batched equivalent of calling :meth:`hash_key_appended`
+        per extension: candidates across all jobs are grouped by
+        instruction, each group's parent states are stacked and evolved
+        with one ``apply_gate_batch`` call, and the amplitudes reduce
+        through one ``inner_product_batch`` per group.  Candidate evolved
+        states land in the state cache exactly like the per-state path, so
+        a follow-up verifier phase screen reuses them for free.
+
+        On backends with ``batch_bit_identical`` (numpy) the returned keys
+        are bit-identical to the per-state path; the sampling cross-check
+        enforces that invariant at runtime (with an ``e_max``-scaled
+        tolerance on fused-kernel backends).
+        """
+        results: List[List[int]] = [[0] * len(extensions) for _, extensions in jobs]
+        if not results:
+            return results
+        # Group candidates by instruction across jobs (insertion-ordered,
+        # so the sampling cross-check below stays deterministic).
+        groups: "OrderedDict[tuple, List[Tuple[int, int, np.ndarray, tuple]]]" = (
+            OrderedDict()
+        )
+        members_meta: Dict[tuple, Instruction] = {}
+        for job_index, (parent, extensions) in enumerate(jobs):
+            parent_state = self.evolved_state(parent)
+            parent_key = parent.sequence_key()
+            for position, inst in enumerate(extensions):
+                inst_key = inst.sort_key()
+                groups.setdefault(inst_key, []).append(
+                    (job_index, position, parent_state, parent_key + (inst_key,))
+                )
+                members_meta.setdefault(inst_key, inst)
+
+        total = sum(len(members) for members in groups.values())
+        self.perf.count("fingerprint.evals", total)
+        self.perf.count("fingerprint.incremental_evals", total)
+        self.perf.count("fingerprint.batched.calls")
+        self.perf.count("fingerprint.batched.groups", len(groups))
+        exact = self._backend.batch_bit_identical
+        interval = self.cross_check_interval
+        for inst_key, members in groups.items():
+            inst = members_meta[inst_key]
+            gate_matrix = instruction_unitary(inst, self.param_values)
+            if len(members) == 1:
+                # Degenerate batch: no stacked-array allocation at all.  On
+                # bit-identical backends the per-state kernel is used (same
+                # floats by definition); on fused-kernel backends the batch
+                # kernel is applied to a one-row *view*, so a candidate's
+                # amplitude never depends on how candidates were grouped —
+                # group composition varies with worker chunking, and serial
+                # vs sharded runs must keep producing the same keys.
+                self.perf.count("fingerprint.batched.singletons")
+                parent_state = members[0][2]
+                if exact:
+                    evolved = self._backend.apply_gate(
+                        parent_state, gate_matrix, inst.qubits, self.num_qubits
+                    )[None]
+                else:
+                    evolved = self._backend.apply_gate_batch(
+                        parent_state[None], gate_matrix, inst.qubits, self.num_qubits
+                    )
+            else:
+                self.perf.count("fingerprint.batched.states", len(members))
+                stacked = np.stack([member[2] for member in members])
+                evolved = self._backend.apply_gate_batch(
+                    stacked, gate_matrix, inst.qubits, self.num_qubits
+                )
+            amplitudes = self._backend.inner_product_batch(self.psi0, evolved)
+            multi_row = len(members) > 1
+            for row, (job_index, position, _parent_state, candidate_key) in enumerate(
+                members
+            ):
+                state = evolved[row]
+                if multi_row:
+                    # Copy the row out of the stack before caching: a row
+                    # *view* would keep the whole (num_states, dim) buffer
+                    # alive until every row is evicted, pinning far more
+                    # memory than the LRU bound accounts for.
+                    state = state.copy()
+                self._store_state(candidate_key, state)
+                results[job_index][position] = int(
+                    math.floor(abs(complex(amplitudes[row])) / (2.0 * self.e_max))
+                )
+                self._incremental_evals += 1
+                if interval > 0 and self._incremental_evals % interval == 0:
+                    parent, extensions = jobs[job_index]
+                    self._cross_check(
+                        parent, extensions[position], state, exact=exact
+                    )
+        return results
 
 
 def _context_from_spec(spec: dict) -> FingerprintContext:

@@ -1,9 +1,14 @@
 """Optional numba-JIT gate-application backend (``backend="numba"``).
 
-The kernel iterates over the statevector with explicit bit arithmetic —
+The kernels iterate over the statevector with explicit bit arithmetic —
 the shape of loop numba compiles to tight machine code — instead of the
-reshape/moveaxis dance the numpy backend uses.  The module is written so
-that:
+reshape/moveaxis dance the numpy backend uses.  Besides the per-state
+``apply_gate`` kernel there are batched multi-state kernels
+(:func:`_apply_gate_batch_kernel`, :func:`_inner_product_batch_kernel`)
+compiled with ``parallel=True``: one launch evolves a whole
+``(num_states, 2**q)`` stack, with ``prange`` over the batch dimension and
+specialized unrolled bodies for 1- and 2-qubit gates.  The module is
+written so that:
 
 * importing it **never requires numba**: the kernel below is plain Python
   (numba-compatible subset), and :func:`apply_gate_reference` runs it
@@ -25,6 +30,14 @@ from typing import Sequence
 import numpy as np
 
 from repro.semantics.backend import BackendUnavailableError, SimulatorBackend
+
+#: Loop construct of the batched kernels.  Plain ``range`` keeps the module
+#: importable (and the kernels runnable uncompiled) without numba; the JIT
+#: compilation path rebinds this to ``numba.prange`` right before compiling
+#: with ``parallel=True`` so the batch dimension is parallelized.  In
+#: interpreted mode ``numba.prange`` behaves exactly like ``range``, so the
+#: rebinding never changes uncompiled results.
+prange = range
 
 
 def _apply_gate_kernel(
@@ -56,6 +69,119 @@ def _apply_gate_kernel(
     return out
 
 
+def _apply_gate_batch_kernel(
+    states: np.ndarray, matrix: np.ndarray, shifts: np.ndarray
+) -> np.ndarray:
+    """Apply one gate to a ``(num_states, 2**q)`` stack (numba-compatible).
+
+    The batch dimension is a ``prange`` loop (parallel when compiled with
+    ``parallel=True``); the per-state bodies are specialized for the 1- and
+    2-qubit gates that dominate real gate sets.  Instead of re-deriving the
+    local row and substituted column index per global index (the generic
+    kernel's inner bit loops), the specialized bodies enumerate each
+    ``2^k``-tuple of coupled amplitudes once — half / a quarter as many
+    iterations with fully unrolled arithmetic.  The arithmetic *order* per
+    output amplitude differs from the per-state kernel, which is why the
+    numba backend declares ``batch_bit_identical = False``.
+    """
+    num_states = states.shape[0]
+    dim = states.shape[1]
+    num_targets = shifts.shape[0]
+    out = np.empty_like(states)
+    if num_targets == 1:
+        s0 = shifts[0]
+        mask = 1 << s0
+        low_mask = mask - 1
+        m00 = matrix[0, 0]
+        m01 = matrix[0, 1]
+        m10 = matrix[1, 0]
+        m11 = matrix[1, 1]
+        half = dim >> 1
+        for b in prange(num_states):
+            for base in range(half):
+                i0 = ((base >> s0) << (s0 + 1)) | (base & low_mask)
+                i1 = i0 | mask
+                a0 = states[b, i0]
+                a1 = states[b, i1]
+                out[b, i0] = m00 * a0 + m01 * a1
+                out[b, i1] = m10 * a0 + m11 * a1
+    elif num_targets == 2:
+        s0 = shifts[0]
+        s1 = shifts[1]
+        m0 = 1 << s0
+        m1 = 1 << s1
+        lo = s0 if s0 < s1 else s1
+        hi = s1 if s0 < s1 else s0
+        lo_mask = (1 << lo) - 1
+        hi_mask = (1 << hi) - 1
+        quarter = dim >> 2
+        for b in prange(num_states):
+            for base in range(quarter):
+                t = ((base >> lo) << (lo + 1)) | (base & lo_mask)
+                t = ((t >> hi) << (hi + 1)) | (t & hi_mask)
+                i00 = t
+                i01 = t | m1
+                i10 = t | m0
+                i11 = t | m0 | m1
+                a00 = states[b, i00]
+                a01 = states[b, i01]
+                a10 = states[b, i10]
+                a11 = states[b, i11]
+                out[b, i00] = (
+                    matrix[0, 0] * a00
+                    + matrix[0, 1] * a01
+                    + matrix[0, 2] * a10
+                    + matrix[0, 3] * a11
+                )
+                out[b, i01] = (
+                    matrix[1, 0] * a00
+                    + matrix[1, 1] * a01
+                    + matrix[1, 2] * a10
+                    + matrix[1, 3] * a11
+                )
+                out[b, i10] = (
+                    matrix[2, 0] * a00
+                    + matrix[2, 1] * a01
+                    + matrix[2, 2] * a10
+                    + matrix[2, 3] * a11
+                )
+                out[b, i11] = (
+                    matrix[3, 0] * a00
+                    + matrix[3, 1] * a01
+                    + matrix[3, 2] * a10
+                    + matrix[3, 3] * a11
+                )
+    else:
+        block = 1 << num_targets
+        for b in prange(num_states):
+            for index in range(dim):
+                row = 0
+                for i in range(num_targets):
+                    row = (row << 1) | ((index >> shifts[i]) & 1)
+                acc = complex(0.0, 0.0)
+                for col in range(block):
+                    j = index
+                    for i in range(num_targets):
+                        bit = (col >> (num_targets - 1 - i)) & 1
+                        j = (j & ~(1 << shifts[i])) | (bit << shifts[i])
+                    acc = acc + matrix[row, col] * states[b, j]
+                out[b, index] = acc
+    return out
+
+
+def _inner_product_batch_kernel(bra: np.ndarray, states: np.ndarray) -> np.ndarray:
+    """``<bra|state_i>`` for every row of the stack (numba-compatible)."""
+    num_states = states.shape[0]
+    dim = states.shape[1]
+    out = np.empty(num_states, dtype=np.complex128)
+    for b in prange(num_states):
+        acc = complex(0.0, 0.0)
+        for j in range(dim):
+            acc = acc + bra[j].conjugate() * states[b, j]
+        out[b] = acc
+    return out
+
+
 def _shifts_for(qubits: Sequence[int], num_qubits: int) -> np.ndarray:
     return np.array([num_qubits - 1 - q for q in qubits], dtype=np.int64)
 
@@ -71,6 +197,25 @@ def apply_gate_reference(
     )
 
 
+def apply_gate_batch_reference(
+    states: np.ndarray, matrix: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Run the (uncompiled) batched kernel — its parity-test oracle."""
+    return _apply_gate_batch_kernel(
+        np.asarray(states, dtype=np.complex128),
+        np.asarray(matrix, dtype=np.complex128),
+        _shifts_for(qubits, num_qubits),
+    )
+
+
+def inner_product_batch_reference(bra: np.ndarray, states: np.ndarray) -> np.ndarray:
+    """Run the (uncompiled) batched inner-product kernel."""
+    return _inner_product_batch_kernel(
+        np.asarray(bra, dtype=np.complex128),
+        np.asarray(states, dtype=np.complex128),
+    )
+
+
 def numba_available() -> bool:
     """Feature probe: can the numba backend be constructed here?"""
     try:
@@ -81,6 +226,7 @@ def numba_available() -> bool:
 
 
 _COMPILED_KERNEL = None
+_COMPILED_BATCH_KERNELS = None
 
 
 def _compiled_kernel():
@@ -93,10 +239,39 @@ def _compiled_kernel():
     return _COMPILED_KERNEL
 
 
+def _compiled_batch_kernels():
+    """JIT-compile the batched ``prange`` kernels once per process.
+
+    Rebinds this module's ``prange`` to ``numba.prange`` before compiling
+    with ``parallel=True`` so numba parallelizes the batch loops; the
+    rebinding is behavior-preserving for any later uncompiled call because
+    interpreted ``numba.prange`` is plain ``range``.
+    """
+    global _COMPILED_BATCH_KERNELS, prange
+    if _COMPILED_BATCH_KERNELS is None:
+        import numba
+
+        prange = numba.prange
+        _COMPILED_BATCH_KERNELS = (
+            numba.njit(cache=False, parallel=True)(_apply_gate_batch_kernel),
+            numba.njit(cache=False, parallel=True)(_inner_product_batch_kernel),
+        )
+    return _COMPILED_BATCH_KERNELS
+
+
 class NumbaBackend(SimulatorBackend):
-    """JIT-compiled gate application; construction fails without numba."""
+    """JIT-compiled gate application; construction fails without numba.
+
+    The batched kernels fuse the whole ``(num_states, 2**q)`` stack into a
+    single parallel launch with specialized 1-/2-qubit bodies, so they do
+    not reproduce the per-state kernel's arithmetic order bit for bit —
+    hence ``batch_bit_identical = False`` (batched runs get their own
+    persistent-cache namespace).
+    """
 
     name = "numba"
+    batch_kind = "jit"
+    batch_bit_identical = False
 
     def __init__(self) -> None:
         if not numba_available():
@@ -105,10 +280,31 @@ class NumbaBackend(SimulatorBackend):
                 "install it or use the default 'numpy' backend"
             )
         self._kernel = _compiled_kernel()
+        self._batch_kernel, self._inner_product_kernel = _compiled_batch_kernels()
 
     def apply_gate(self, state, matrix, qubits, num_qubits):
         return self._kernel(
             np.ascontiguousarray(state, dtype=np.complex128),
             np.ascontiguousarray(matrix, dtype=np.complex128),
             _shifts_for(qubits, num_qubits),
+        )
+
+    def apply_gate_batch(self, states, matrix, qubits, num_qubits):
+        # Deliberately no per-state fast path for a batch of 1: the fused
+        # kernel's per-row arithmetic is independent of the batch size, so
+        # routing every batch through it keeps a candidate's amplitude
+        # independent of how the caller grouped candidates (grouping varies
+        # with worker chunking; mixing kernels per size would make sharded
+        # runs diverge from serial ones by ulps).  Callers avoid the
+        # stacked *copy* for one state by passing a one-row view.
+        return self._batch_kernel(
+            np.ascontiguousarray(states, dtype=np.complex128),
+            np.ascontiguousarray(matrix, dtype=np.complex128),
+            _shifts_for(qubits, num_qubits),
+        )
+
+    def inner_product_batch(self, bra, states):
+        return self._inner_product_kernel(
+            np.ascontiguousarray(bra, dtype=np.complex128),
+            np.ascontiguousarray(states, dtype=np.complex128),
         )

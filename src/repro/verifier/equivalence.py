@@ -123,6 +123,10 @@ class EquivalenceVerifier:
         backend: simulator backend used by the numeric phase screen's
             fingerprint contexts (see :mod:`repro.semantics.backend`).  The
             symbolic proof is exact and backend-independent.
+        batched: whether the phase screen's fingerprint contexts evaluate
+            through the backend's batched kernels (``None`` reads
+            ``REPRO_BATCHED``; bit-identical on the numpy backend either
+            way).
     """
 
     #: Bound on cached symbolic matrices; the cache is halved (oldest first)
@@ -137,15 +141,18 @@ class EquivalenceVerifier:
         allow_numeric_fallback: bool = True,
         seed: int = 20220433,
         backend: str = "numpy",
+        batched: Optional[bool] = None,
         perf: Optional[PerfRecorder] = None,
     ) -> None:
         from repro.semantics.backend import get_backend
+        from repro.semantics.fingerprint import resolve_batched
 
         self.num_params = num_params
         self.search_linear_phase = search_linear_phase
         self.allow_numeric_fallback = allow_numeric_fallback
         self.seed = seed
         self.backend_name = get_backend(backend).name
+        self.batched = resolve_batched(batched)
         self.perf = perf if perf is not None else NULL_RECORDER
         self.stats = VerifierStats()
         self._fingerprint_contexts: Dict[int, FingerprintContext] = {}
@@ -175,6 +182,7 @@ class EquivalenceVerifier:
             "allow_numeric_fallback": self.allow_numeric_fallback,
             "seed": self.seed,
             "backend": self.backend_name,
+            "batched": self.batched,
         }
 
     @classmethod
@@ -185,6 +193,7 @@ class EquivalenceVerifier:
             allow_numeric_fallback=spec["allow_numeric_fallback"],
             seed=spec["seed"],
             backend=spec.get("backend", "numpy"),
+            batched=spec.get("batched", True),
         )
 
     def set_fingerprint_context(self, context: FingerprintContext) -> None:
@@ -275,7 +284,11 @@ class EquivalenceVerifier:
     def _fingerprint_context(self, num_qubits: int) -> FingerprintContext:
         if num_qubits not in self._fingerprint_contexts:
             self._fingerprint_contexts[num_qubits] = FingerprintContext(
-                num_qubits, self.num_params, seed=self.seed, backend=self.backend_name
+                num_qubits,
+                self.num_params,
+                seed=self.seed,
+                backend=self.backend_name,
+                batched=self.batched,
             )
         return self._fingerprint_contexts[num_qubits]
 

@@ -35,12 +35,20 @@ class TestFromEnv:
         monkeypatch.setenv(CACHE_DIR_ENV_VAR, str(tmp_path))
         monkeypatch.setenv(CACHE_DISABLE_ENV_VAR, "false")
         monkeypatch.setenv(SCALE_ENV_VAR, "medium")
+        monkeypatch.setenv("REPRO_BATCHED", "0")
         config = RunConfig.from_env()
         assert config.generation.workers == 4
         assert config.generation.verify_workers == 3
         assert config.generation.cache_dir == str(tmp_path)
         assert config.generation.cache_enabled is True
         assert config.scale == "medium"
+        assert config.batched is False
+
+    def test_batched_unset_stays_deferred(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BATCHED", raising=False)
+        config = RunConfig.from_env()
+        assert config.batched is None
+        assert config.with_overrides(batched=True).batched is True
 
     def test_verify_workers_unset_stays_deferred(self, monkeypatch):
         monkeypatch.delenv(VERIFY_WORKERS_ENV_VAR, raising=False)

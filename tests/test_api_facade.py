@@ -119,6 +119,20 @@ class TestRunReport:
         assert p["workers"] >= 1
         assert p["verify_workers"] >= 1
         assert p["generation_source"] in {"generated", "memo", "disk"}
+        # The active batch path: backend name plus batched true/false (and
+        # which kernel family served it).
+        assert p["batched"] is True
+        assert p["batch_kind"] == "vectorized"
+
+    def test_provenance_reports_per_state_runs(self):
+        facade = _quick_facade(batched=False, n=2, q=2)
+        assert facade._batched is False
+        report = facade.optimize(
+            Circuit(2).h(0).h(0), max_iterations=2, timeout_seconds=10
+        )
+        assert report.provenance["batched"] is False
+        assert report.provenance["batch_kind"] == "per-state"
+        assert "per-state" in report.summary()
 
     def test_perf_counters_are_merged(self, small_report):
         perf = small_report.perf
