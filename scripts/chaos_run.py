@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""Run the facade repeatedly under randomized fault schedules; assert one hash.
+
+The resilience layer's contract is that recovery never changes the output:
+worker kills, delayed chunks and in-worker failures are retried (or the
+round degrades to serial) such that ``ECCSet.to_json`` stays byte-identical
+to an undisturbed serial run.  This driver stress-tests that contract the
+way a single targeted test cannot — with *many* runs, each under a
+different randomly drawn (but seeded, hence reproducible) fault schedule::
+
+    PYTHONPATH=src python scripts/chaos_run.py --runs 3 --seed 7 \
+        --n 2 --q 2 --workers 2 --verify-workers 2
+
+Every run optimizes the same benchmark circuit through
+:class:`repro.api.Superoptimizer` with the in-process memo cleared and the
+persistent cache disabled (so each run truly regenerates under its own
+faults), hashes the resulting ECC JSON, and at the end every hash — plus a
+fault-free serial baseline — must be identical.  Exit status 1 on any
+divergence, 2 if no faults fired across all runs (vacuity guard).
+
+Schedules draw from the chunk fault actions (``kill_worker``,
+``delay_chunk``, ``fail_chunk``) over both pool sites and all rounds; the
+exact plan of every run is printed, so a failing seed is a one-line repro.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import random
+import sys
+from typing import List, Optional, Sequence
+
+
+def random_plan_string(rng: random.Random, max_rounds: int) -> str:
+    """Draw a small random fault schedule in ``REPRO_FAULTS`` syntax."""
+    from repro import faults
+
+    entries = []
+    for _ in range(rng.randint(1, 3)):
+        action = rng.choice(faults.CHUNK_ACTIONS)
+        site = rng.choice(("gen", "verify"))
+        when = rng.choice(["once", f"round{rng.randint(1, max_rounds)}"])
+        entries.append(f"{action}:{site}:{when}")
+    return ",".join(entries)
+
+
+def run_once(args: argparse.Namespace, plan_string: Optional[str]) -> dict:
+    """One facade run under ``plan_string`` (None = no faults); returns facts."""
+    from repro import faults
+    from repro.api import RunConfig, Superoptimizer, clear_memory_caches
+    from repro.benchmarks_suite import benchmark_circuit
+
+    clear_memory_caches()
+    plan = (
+        faults.FaultPlan.from_string(plan_string) if plan_string else None
+    )
+    faults.set_fault_plan(plan)
+    try:
+        config = RunConfig.from_env().with_overrides(
+            gate_set=args.gate_set,
+            generation={
+                "n": args.n,
+                "q": args.q,
+                "workers": args.workers if plan_string else 1,
+                "verify_workers": args.verify_workers if plan_string else 1,
+                "cache_enabled": False,
+                "chunk_timeout": args.chunk_timeout,
+                "chunk_retries": args.chunk_retries,
+            },
+            search={"max_iterations": args.max_iterations},
+        )
+        report = Superoptimizer(config).optimize(benchmark_circuit(args.circuit))
+    finally:
+        faults.set_fault_plan(None)
+    ecc_json = report.ecc_set.to_json()
+    return {
+        "plan": plan_string or "(none)",
+        "ecc_sha256": hashlib.sha256(ecc_json.encode("utf-8")).hexdigest(),
+        "ecc_bytes": len(ecc_json),
+        "resilience": dict(report.provenance.get("resilience", {})),
+        "final_cost": report.final_cost,
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python scripts/chaos_run.py",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--runs", type=int, default=3, help="fault-injected runs")
+    parser.add_argument("--seed", type=int, default=7, help="schedule RNG seed")
+    parser.add_argument("--gate-set", default="nam")
+    parser.add_argument("--n", type=int, default=2, help="max gates per circuit")
+    parser.add_argument("--q", type=int, default=2, help="number of qubits")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--verify-workers", type=int, default=2)
+    parser.add_argument(
+        "--chunk-timeout",
+        type=float,
+        default=2.0,
+        help="per-chunk deadline during chaos runs (keep small: delayed "
+        "chunks sleep past it on purpose)",
+    )
+    parser.add_argument("--chunk-retries", type=int, default=2)
+    parser.add_argument("--circuit", default="barenco_tof_3")
+    parser.add_argument("--max-iterations", type=int, default=5)
+    parser.add_argument("--json", action="store_true", help="emit JSON facts")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    facts: List[dict] = []
+    baseline = run_once(args, None)
+    baseline["plan"] = "(serial baseline)"
+    facts.append(baseline)
+    print(f"[chaos] baseline: ecc sha256 {baseline['ecc_sha256'][:16]}…")
+
+    rng = random.Random(args.seed)
+    for index in range(args.runs):
+        plan_string = random_plan_string(rng, args.n)
+        outcome = run_once(args, plan_string)
+        facts.append(outcome)
+        match = "ok" if outcome["ecc_sha256"] == baseline["ecc_sha256"] else "DIVERGED"
+        print(
+            f"[chaos] run {index + 1}/{args.runs} [{plan_string}]: "
+            f"{match}, recovery {outcome['resilience'] or '{}'}"
+        )
+
+    if args.json:
+        import json
+
+        json.dump(facts, sys.stdout, indent=2, sort_keys=True)
+        print()
+
+    hashes = {fact["ecc_sha256"] for fact in facts}
+    if len(hashes) != 1:
+        print(
+            f"FAIL: {len(hashes)} distinct ECC hashes across "
+            f"{len(facts)} runs — recovery changed the output",
+            file=sys.stderr,
+        )
+        return 1
+    fired = sum(
+        fact["resilience"].get("faults_injected", 0) for fact in facts
+    )
+    if not fired:
+        print(
+            "VACUOUS: no fault fired in any run (schedules never hit an "
+            "armed injection point; widen --runs or the scale)",
+            file=sys.stderr,
+        )
+        return 2
+    print(
+        f"[chaos] all {len(facts)} runs converged to one ECC hash "
+        f"({fired} faults fired)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,12 +7,23 @@ that ``ECCSet.to_json`` does not depend on them.  This script generates the
 same configuration twice, once serially and once with the requested worker
 counts, and fails loudly if the serialized outputs differ by a single byte.
 
-Invoked by the ``parallel-verify`` CI leg (which used to carry this logic
-as an inline heredoc) and smoke-tested in-process by
-``tests/test_scripts.py``::
+Invoked by the ``parallel-verify`` and ``chaos`` CI legs (the latter with a
+``REPRO_FAULTS`` fault-injection plan: worker kills, delayed chunks) and
+smoke-tested in-process by ``tests/test_scripts.py``::
 
     PYTHONPATH=src python scripts/check_ecc_identity.py \
         --n 2 --q 2 --verify-workers 2 --artifact serial_ecc.json
+
+    REPRO_FAULTS=kill_worker:gen:round2 REPRO_CHUNK_TIMEOUT=2 \
+    PYTHONPATH=src python scripts/check_ecc_identity.py \
+        --n 2 --q 2 --workers 2 --expect-faults
+
+The serial baseline always runs with fault injection disabled (it is the
+reference), while the parallel run re-reads ``REPRO_FAULTS``; with
+``--expect-faults`` the script additionally fails if no fault actually
+fired — guarding the chaos CI leg against becoming vacuous when an
+injection point moves.  The ``resilience.*`` recovery counters of the
+parallel run are printed either way.
 
 The persistent cache is deliberately not consulted: both runs generate from
 scratch so the comparison exercises the live code path, not a cached blob.
@@ -23,7 +34,7 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 
 def generate_json(
@@ -33,7 +44,7 @@ def generate_json(
     num_params: int,
     workers: int,
     verify_workers: int,
-) -> str:
+) -> Tuple[str, Dict[str, float]]:
     from repro.generator import RepGen
     from repro.ir.gatesets import get_gate_set
 
@@ -44,7 +55,8 @@ def generate_json(
         workers=workers,
         verify_workers=verify_workers,
     )
-    return generator.generate(n).ecc_set.to_json()
+    result = generator.generate(n)
+    return result.ecc_set.to_json(), result.stats.perf
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -76,6 +88,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the serial ECC JSON to this path (diff evidence)",
     )
+    parser.add_argument(
+        "--expect-faults",
+        action="store_true",
+        help=(
+            "fail unless at least one REPRO_FAULTS entry actually fired in "
+            "the parallel run (chaos-leg vacuity guard)"
+        ),
+    )
     return parser
 
 
@@ -88,12 +108,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         return 2
 
-    serial = generate_json(
+    from repro import faults
+
+    # The serial run is the reference: it must never see injected faults,
+    # even when REPRO_FAULTS is set for the parallel run.
+    faults.set_fault_plan(None)
+    serial, _ = generate_json(
         args.gate_set, args.n, args.q, args.num_params, workers=1, verify_workers=1
     )
     if args.artifact:
         Path(args.artifact).write_text(serial, encoding="utf-8")
-    parallel = generate_json(
+
+    # Re-read REPRO_FAULTS fresh for the parallel run.
+    faults.reset_fault_plan()
+    plan = faults.active_plan()
+    if plan is not None:
+        print(f"fault plan: {plan.spec_string()}")
+    parallel, perf = generate_json(
         args.gate_set,
         args.n,
         args.q,
@@ -101,6 +132,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         workers=args.workers,
         verify_workers=args.verify_workers,
     )
+    resilience = {
+        key: value for key, value in perf.items() if key.startswith("resilience.")
+    }
+    for key in sorted(resilience):
+        print(f"  {key} = {resilience[key]}")
 
     label = (
         f"workers={args.workers}/verify-workers={args.verify_workers} "
@@ -113,6 +149,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             file=sys.stderr,
         )
         return 1
+    if args.expect_faults and not resilience.get("resilience.faults_injected"):
+        print(
+            "VACUOUS: --expect-faults was given but no fault fired "
+            "(check REPRO_FAULTS and the injection points)",
+            file=sys.stderr,
+        )
+        return 3
     print(f"serial vs {label} ECC JSON byte-identical ({len(serial)} bytes)")
     return 0
 

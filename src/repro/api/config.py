@@ -34,6 +34,9 @@ from repro.envconfig import (
     env_batched_optional,
     env_cache_dir,
     env_cache_enabled,
+    env_chunk_retries_optional,
+    env_chunk_timeout_optional,
+    env_resume_optional,
     env_scale,
     env_verify_workers_optional,
     env_workers_optional,
@@ -60,6 +63,15 @@ class GenerationConfig:
     verify_workers: Optional[int] = None
     cache_dir: Optional[str] = None
     cache_enabled: Optional[bool] = None
+    #: Per-chunk worker-pool deadline in seconds (None: read
+    #: ``REPRO_CHUNK_TIMEOUT`` at run time; 0 disables the deadline).
+    chunk_timeout: Optional[float] = None
+    #: Re-dispatch budget per failed/timed-out chunk (None: read
+    #: ``REPRO_CHUNK_RETRIES`` at run time).
+    chunk_retries: Optional[int] = None
+    #: Round-granular checkpointing + crash resume through the persistent
+    #: cache (None: read ``REPRO_RESUME`` at run time; default off).
+    resume: Optional[bool] = None
     prune: bool = True
     verbose: bool = False
 
@@ -139,7 +151,9 @@ class RunConfig:
         ``REPRO_GEN_WORKERS`` / ``REPRO_VERIFY_WORKERS`` (invalid/negative
         values warn and mean serial), ``REPRO_BATCHED`` (batched
         multi-state fingerprinting, default on), ``REPRO_CACHE_DIR``,
-        ``REPRO_CACHE_DISABLE`` (only truthy values disable) and
+        ``REPRO_CACHE_DISABLE`` (only truthy values disable),
+        ``REPRO_CHUNK_TIMEOUT`` / ``REPRO_CHUNK_RETRIES`` (worker-pool
+        resilience), ``REPRO_RESUME`` (crash-safe checkpointing) and
         ``REPRO_SCALE``.  ``overrides`` win over the environment.
         """
         config = cls(
@@ -150,6 +164,9 @@ class RunConfig:
                 verify_workers=env_verify_workers_optional(),
                 cache_dir=env_cache_dir(),
                 cache_enabled=env_cache_enabled(),
+                chunk_timeout=env_chunk_timeout_optional(),
+                chunk_retries=env_chunk_retries_optional(),
+                resume=env_resume_optional(),
             ),
         )
         return config.with_overrides(**overrides) if overrides else config

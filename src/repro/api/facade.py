@@ -27,7 +27,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.api.config import GenerationConfig, RunConfig
-from repro.envconfig import env_cache_dir, env_cache_enabled
+from repro.envconfig import env_cache_dir, env_cache_enabled, env_resume
 from repro.generator.cache import ECCCache, backend_kind, cache_key
 from repro.generator.ecc import ECCSet
 from repro.generator.parallel import resolve_workers
@@ -46,6 +46,7 @@ from repro.preprocess import SUPPORTED_GATE_SETS as PREPROCESS_GATE_SETS
 from repro.preprocess import preprocess as run_preprocess
 from repro.semantics.backend import circuits_equivalent_statevector, get_backend
 from repro.semantics.fingerprint import resolve_batched
+from repro.workerpool import resolve_chunk_retries, resolve_chunk_timeout
 
 _UNSET = object()
 
@@ -149,6 +150,9 @@ def run_generation(
         verify_workers=generation.verify_workers,
         backend=backend,
         batched=batched,
+        chunk_timeout=generation.chunk_timeout,
+        chunk_retries=generation.chunk_retries,
+        resume=generation.resume,
     )
     disk_cache = ECCCache(
         generation.cache_dir,
@@ -511,6 +515,19 @@ class Superoptimizer:
                 or (outcome.stats is not None
                     and outcome.stats.perf.get("cache.warm_hit"))
             ),
+            # Resilience knobs as resolved for this run, plus every
+            # resilience.* counter the run recorded (empty when nothing
+            # failed): retries, respawns, timeouts, resumed rounds, ...
+            "chunk_timeout": resolve_chunk_timeout(generation.chunk_timeout),
+            "chunk_retries": resolve_chunk_retries(generation.chunk_retries),
+            "resume": (
+                generation.resume if generation.resume is not None else env_resume()
+            ),
+            "resilience": {
+                key[len("resilience.") :]: value
+                for key, value in merged.snapshot().items()
+                if key.startswith("resilience.")
+            },
         }
 
         return RunReport(

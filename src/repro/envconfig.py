@@ -16,6 +16,19 @@ the semantics of a knob cannot drift between call sites:
   the cache, so ``REPRO_CACHE_DISABLE=0`` / ``=false`` / ``=off`` mean
   the cache stays *enabled* (and ``TRUE``/``Yes`` case-insensitively
   disable it);
+* ``REPRO_CHUNK_TIMEOUT`` — per-chunk deadline (seconds, float) for the
+  worker pools' async dispatch; ``0`` (or any non-positive value) disables
+  the deadline, invalid values warn and use the default;
+* ``REPRO_CHUNK_RETRIES`` — how many times a failed or timed-out chunk is
+  re-dispatched (with pool respawn and exponential backoff) before the
+  round degrades to serial; invalid/negative values warn and use the
+  default;
+* ``REPRO_RESUME``        — boolean flag (default off): write round-granular
+  RepGen checkpoints through the persistent cache and resume from the last
+  completed round after a crash;
+* ``REPRO_FAULTS``        — deterministic fault-injection plan for
+  resilience testing (parsed by :mod:`repro.faults`; malformed plans
+  raise, they never fail silent);
 * ``REPRO_SCALE``         — experiment scale preset name.
 
 The public configuration face of these knobs is
@@ -36,9 +49,22 @@ VERIFY_WORKERS_ENV_VAR = "REPRO_VERIFY_WORKERS"
 BATCHED_ENV_VAR = "REPRO_BATCHED"
 CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
 CACHE_DISABLE_ENV_VAR = "REPRO_CACHE_DISABLE"
+CHUNK_TIMEOUT_ENV_VAR = "REPRO_CHUNK_TIMEOUT"
+CHUNK_RETRIES_ENV_VAR = "REPRO_CHUNK_RETRIES"
+RESUME_ENV_VAR = "REPRO_RESUME"
+FAULTS_ENV_VAR = "REPRO_FAULTS"
 SCALE_ENV_VAR = "REPRO_SCALE"
 
 DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Per-chunk deadline (seconds) when neither the argument nor the
+#: environment sets one.  Generous relative to the scales this repo runs
+#: (a chunk is ~1/(4·workers) of one round), but finite: a worker killed
+#: mid-chunk must surface as a timeout instead of hanging the round.
+DEFAULT_CHUNK_TIMEOUT = 120.0
+
+#: Re-dispatch attempts per failed chunk before the round degrades to serial.
+DEFAULT_CHUNK_RETRIES = 2
 
 #: Accepted spellings for boolean environment flags (case-insensitive).
 _TRUTHY = frozenset({"1", "true", "yes", "on"})
@@ -153,6 +179,106 @@ def env_cache_enabled(*, default: bool = True) -> bool:
     if raw is None:
         return default
     return not parse_bool(raw, default=not default, name=CACHE_DISABLE_ENV_VAR)
+
+
+def parse_chunk_timeout(raw: str, *, default: float = DEFAULT_CHUNK_TIMEOUT) -> Optional[float]:
+    """Parse a per-chunk deadline: seconds, ``<= 0`` means "no deadline".
+
+    Invalid values warn and use the default — a malformed knob must not
+    silently disable the no-hang guarantee.
+    """
+    text = raw.strip()
+    try:
+        seconds = float(text) if text else default
+    except ValueError:
+        warnings.warn(
+            f"ignoring non-numeric {CHUNK_TIMEOUT_ENV_VAR}={raw!r}; "
+            f"using default {default}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return default
+    return None if seconds <= 0 else seconds
+
+
+def env_chunk_timeout(*, default: float = DEFAULT_CHUNK_TIMEOUT) -> Optional[float]:
+    """Per-chunk deadline from ``REPRO_CHUNK_TIMEOUT`` (None = disabled)."""
+    raw = os.environ.get(CHUNK_TIMEOUT_ENV_VAR)
+    if raw is None:
+        return default
+    return parse_chunk_timeout(raw, default=default)
+
+
+def env_chunk_timeout_optional() -> Optional[float]:
+    """Raw chunk-timeout knob, or None when unset (0.0 = explicitly disabled).
+
+    Unlike :func:`env_chunk_timeout` this keeps "unset" and "disabled"
+    apart, which the config snapshot needs: an unset knob stays a runtime
+    decision, an explicit ``0`` is recorded as ``0.0``.
+    """
+    raw = os.environ.get(CHUNK_TIMEOUT_ENV_VAR)
+    if raw is None:
+        return None
+    parsed = parse_chunk_timeout(raw)
+    return 0.0 if parsed is None else parsed
+
+
+def parse_chunk_retries(raw: str, *, default: int = DEFAULT_CHUNK_RETRIES) -> int:
+    """Parse a chunk retry budget: non-negative int; invalid warns, default."""
+    text = raw.strip()
+    try:
+        retries = int(text) if text else default
+    except ValueError:
+        warnings.warn(
+            f"ignoring non-integer {CHUNK_RETRIES_ENV_VAR}={raw!r}; "
+            f"using default {default}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return default
+    if retries < 0:
+        warnings.warn(
+            f"ignoring negative {CHUNK_RETRIES_ENV_VAR}={raw!r}; "
+            f"using default {default}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return default
+    return retries
+
+
+def env_chunk_retries(*, default: int = DEFAULT_CHUNK_RETRIES) -> int:
+    """Chunk retry budget from ``REPRO_CHUNK_RETRIES``."""
+    raw = os.environ.get(CHUNK_RETRIES_ENV_VAR)
+    if raw is None:
+        return default
+    return parse_chunk_retries(raw, default=default)
+
+
+def env_chunk_retries_optional() -> Optional[int]:
+    """Chunk retry budget from the environment, or None when unset."""
+    raw = os.environ.get(CHUNK_RETRIES_ENV_VAR)
+    if raw is None:
+        return None
+    return parse_chunk_retries(raw)
+
+
+def env_resume(*, default: bool = False) -> bool:
+    """Whether crash-safe RepGen checkpointing/resume is on (``REPRO_RESUME``)."""
+    return env_flag(RESUME_ENV_VAR, default=default)
+
+
+def env_resume_optional() -> Optional[bool]:
+    """Resume flag from the environment, or None when the knob is unset."""
+    raw = os.environ.get(RESUME_ENV_VAR)
+    if raw is None:
+        return None
+    return parse_bool(raw, default=False, name=RESUME_ENV_VAR)
+
+
+def env_faults(*, default: str = "") -> str:
+    """The raw ``REPRO_FAULTS`` fault-injection plan (parsed in repro.faults)."""
+    return os.environ.get(FAULTS_ENV_VAR, default).strip()
 
 
 def env_scale(*, default: str = "quick") -> str:

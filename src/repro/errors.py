@@ -1,0 +1,95 @@
+"""Structured error taxonomy for the library's failure paths.
+
+Before this module existed, every recovery site caught bare ``Exception``:
+the pool fallbacks in :mod:`repro.generator.repgen` could not tell a
+retryable infrastructure failure (a killed worker) from a programming bug,
+and the persistent cache had no way to signal *why* a blob was unusable.
+The hierarchy below gives each failure mode the library knows how to
+recover from a name, so recovery sites catch exactly what they handle:
+
+``ReproError``
+    Root of everything this library raises on purpose.
+
+``PoolError``
+    A worker-pool infrastructure failure.  Catching this (and only this)
+    is the contract of the degrade-to-serial paths: anything else escaping
+    a pool is a bug and should surface.
+
+    * ``ChunkTimeout``  — a dispatched chunk missed its deadline
+      (``REPRO_CHUNK_TIMEOUT``); the usual symptom of a worker killed
+      mid-chunk, since the result then simply never arrives.
+    * ``WorkerCrash``   — a chunk raised inside the worker (or its result
+      could not be shipped back).
+    * ``RetryExhausted``— a chunk kept failing after every retry
+      (``REPRO_CHUNK_RETRIES``) and pool respawn; the caller should run
+      that batch serially.
+
+``CacheCorruption``
+    A persistent-cache blob failed validation (checksum, schema, key
+    mismatch, undecodable JSON).  Internal to :mod:`repro.generator.cache`
+    — the public cache contract is still "a read never raises".
+
+``CheckpointError``
+    A RepGen resume checkpoint exists but cannot be used (wrong scale,
+    undeserializable state).  Resume falls back to a fresh run.
+
+``FaultConfigError``
+    A ``REPRO_FAULTS`` spec does not parse.  Deliberately *not* swallowed:
+    a typo'd fault plan that silently never fires would make a chaos test
+    vacuous.
+
+``FaultInjected``
+    Raised by an injected fault (``fail_chunk`` inside a worker,
+    ``crash_run`` in the parent).  Test-only by construction — it can only
+    appear when ``REPRO_FAULTS`` is set.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "PoolError",
+    "ChunkTimeout",
+    "WorkerCrash",
+    "RetryExhausted",
+    "CacheCorruption",
+    "CheckpointError",
+    "FaultConfigError",
+    "FaultInjected",
+]
+
+
+class ReproError(Exception):
+    """Base class for every intentional error of this library."""
+
+
+class PoolError(ReproError):
+    """A worker-pool infrastructure failure (retryable or degradable)."""
+
+
+class ChunkTimeout(PoolError):
+    """A dispatched chunk missed its per-chunk deadline."""
+
+
+class WorkerCrash(PoolError):
+    """A chunk failed inside a worker (exception or lost result)."""
+
+
+class RetryExhausted(PoolError):
+    """A chunk still failed after every configured retry and respawn."""
+
+
+class CacheCorruption(ReproError):
+    """A persistent-cache blob failed checksum/schema/key validation."""
+
+
+class CheckpointError(ReproError):
+    """A resume checkpoint exists but is unusable for this run."""
+
+
+class FaultConfigError(ReproError):
+    """A ``REPRO_FAULTS`` specification does not parse."""
+
+
+class FaultInjected(ReproError):
+    """An injected fault fired (only possible under ``REPRO_FAULTS``)."""

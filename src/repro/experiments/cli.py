@@ -16,7 +16,13 @@ Shared flags:
   processes (default: ``REPRO_VERIFY_WORKERS``, else serial);
 * ``--cache-dir DIR``— persistent ECC cache location (default
   ``REPRO_CACHE_DIR`` or ``.repro_cache/``);
-* ``--no-cache``     — neither read nor write the persistent cache.
+* ``--no-cache``     — neither read nor write the persistent cache;
+* ``--chunk-timeout S`` — per-chunk worker-pool deadline in seconds
+  (default ``REPRO_CHUNK_TIMEOUT``; 0 disables the deadline);
+* ``--chunk-retries N`` — re-dispatch budget per failed/timed-out chunk
+  (default ``REPRO_CHUNK_RETRIES``);
+* ``--resume``       — checkpoint RepGen after every round and resume a
+  killed run from the last completed one (needs the persistent cache).
 
 The ``optimize`` subcommand is a thin shell around
 :class:`repro.api.Superoptimizer`; its JSON output is the facade's
@@ -35,6 +41,9 @@ from repro.envconfig import (
     BATCHED_ENV_VAR,
     CACHE_DIR_ENV_VAR,
     CACHE_DISABLE_ENV_VAR,
+    CHUNK_RETRIES_ENV_VAR,
+    CHUNK_TIMEOUT_ENV_VAR,
+    RESUME_ENV_VAR,
     VERIFY_WORKERS_ENV_VAR,
     WORKERS_ENV_VAR,
 )
@@ -72,6 +81,32 @@ def _add_shared_flags(parser: argparse.ArgumentParser) -> None:
         help="neither read nor write the persistent .repro_cache/ store",
     )
     parser.add_argument(
+        "--chunk-timeout",
+        type=float,
+        default=None,
+        help=(
+            "per-chunk worker-pool deadline in seconds; 0 disables "
+            "(default: REPRO_CHUNK_TIMEOUT, else 120)"
+        ),
+    )
+    parser.add_argument(
+        "--chunk-retries",
+        type=int,
+        default=None,
+        help=(
+            "re-dispatch budget per failed/timed-out chunk "
+            "(default: REPRO_CHUNK_RETRIES, else 2)"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "checkpoint RepGen after every round through the persistent "
+            "cache and resume a killed run at the last completed round"
+        ),
+    )
+    parser.add_argument(
         "--no-batch",
         action="store_true",
         help=(
@@ -98,6 +133,12 @@ def _apply_shared_flags(args: argparse.Namespace) -> None:
         os.environ[WORKERS_ENV_VAR] = str(args.workers)
     if args.verify_workers is not None:
         os.environ[VERIFY_WORKERS_ENV_VAR] = str(args.verify_workers)
+    if args.chunk_timeout is not None:
+        os.environ[CHUNK_TIMEOUT_ENV_VAR] = str(args.chunk_timeout)
+    if args.chunk_retries is not None:
+        os.environ[CHUNK_RETRIES_ENV_VAR] = str(args.chunk_retries)
+    if args.resume:
+        os.environ[RESUME_ENV_VAR] = "1"
     if args.no_batch:
         os.environ[BATCHED_ENV_VAR] = "0"
 
@@ -164,6 +205,12 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         generation_overrides["cache_dir"] = args.cache_dir
     if args.no_cache:
         generation_overrides["cache_enabled"] = False
+    if args.chunk_timeout is not None:
+        generation_overrides["chunk_timeout"] = args.chunk_timeout
+    if args.chunk_retries is not None:
+        generation_overrides["chunk_retries"] = args.chunk_retries
+    if args.resume:
+        generation_overrides["resume"] = True
     config = RunConfig.from_env().with_overrides(
         gate_set=args.gate_set,
         backend=args.backend,

@@ -23,7 +23,18 @@ mismatched or otherwise unreadable blobs produce a ``RuntimeWarning`` and a
 miss, and the caller regenerates (and overwrites the bad blob).  Each blob
 carries a SHA-256 checksum of its body so silent bit-rot is detected, and
 writes go through a temp file + ``os.replace`` so a crashed writer cannot
-leave a half-written blob under the final name.
+leave a half-written blob under the final name.  A failed validation is
+retried with one immediate re-read first: a *transient* bad read (partial
+read race with a concurrent rewrite) heals on the retry and counts
+``cache.reread``; only when the re-read fails too is the blob declared
+bit-rot (``cache.corrupt``) and regenerated.  Internally validation
+failures are :class:`repro.errors.CacheCorruption`, so transient I/O and
+real corruption stay distinguishable; none of it escapes ``load``.
+
+Fault injection (``REPRO_FAULTS``, see :mod:`repro.faults`): site ``cache``
+supports ``corrupt_blob`` (the blob about to be read is bit-flipped on
+disk — persistent, both read attempts fail) and ``torn_read`` (one read
+attempt sees truncated text — transient, the re-read succeeds).
 
 Knobs: the directory defaults to ``.repro_cache/`` and can be moved with
 ``REPRO_CACHE_DIR``; ``REPRO_CACHE_DISABLE=1`` turns the cache into a no-op
@@ -41,6 +52,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional
 
+from repro import faults
 from repro.envconfig import (
     CACHE_DIR_ENV_VAR,
     CACHE_DISABLE_ENV_VAR,
@@ -48,6 +60,7 @@ from repro.envconfig import (
     env_cache_dir,
     env_cache_enabled,
 )
+from repro.errors import CacheCorruption
 from repro.generator.ecc import ECCSet, circuit_from_payload, circuit_to_payload
 from repro.ir.gatesets import GateSet
 from repro.perf import NULL_RECORDER, PerfRecorder
@@ -136,6 +149,21 @@ def _body_checksum(body: dict) -> str:
     ).hexdigest()
 
 
+def _flip_byte_on_disk(path: Path) -> None:
+    """Invert one mid-file byte (the ``corrupt_blob`` injected fault).
+
+    Persistent by design: unlike a torn read, the flipped byte survives the
+    re-read, so the load must take the bit-rot path and regenerate.
+    """
+    try:
+        data = path.read_bytes()
+        if data:
+            mid = len(data) // 2
+            path.write_bytes(data[:mid] + bytes([data[mid] ^ 0xFF]) + data[mid + 1 :])
+    except OSError:  # pragma: no cover - fault best-effort, read handles it
+        pass
+
+
 class ECCCache:
     """Corruption-tolerant JSON blob store for generation artifacts."""
 
@@ -163,7 +191,14 @@ class ECCCache:
     # -- raw blob layer ------------------------------------------------------
 
     def load(self, key: CacheKey) -> Optional[dict]:
-        """Return the cached body for ``key``, or None (never raises)."""
+        """Return the cached body for ``key``, or None (never raises).
+
+        A failed read is retried once immediately: a transient partial read
+        (e.g. racing a concurrent rewrite of the same deterministic blob)
+        heals on the second attempt and counts ``cache.reread``; a blob
+        that fails twice is real bit-rot, counts ``cache.corrupt``, and
+        misses so the caller regenerates over it.
+        """
         if not self.enabled:
             self.perf.count("cache.disabled_loads")
             return None
@@ -172,26 +207,55 @@ class ECCCache:
             if not path.exists():
                 self.perf.count("cache.misses")
                 return None
-            envelope = json.loads(path.read_text(encoding="utf-8"))
-            if envelope.get("schema") != SCHEMA_VERSION:
-                raise ValueError(
-                    f"schema {envelope.get('schema')!r} != {SCHEMA_VERSION}"
-                )
-            if envelope.get("key") != key.fields():
-                raise ValueError("key fields do not match (hash collision or stale blob)")
-            body = envelope["body"]
-            if envelope.get("sha256") != _body_checksum(body):
-                raise ValueError("body checksum mismatch")
-            self.perf.count("cache.hits")
-            return body
-        except Exception as error:  # noqa: BLE001 — the contract is "never crash"
-            self.perf.count("cache.corrupt")
-            warnings.warn(
-                f"ignoring unusable cache blob {path} ({error}); regenerating",
-                RuntimeWarning,
-                stacklevel=3,
-            )
+        except OSError:
+            self.perf.count("cache.misses")
             return None
+        if faults.fire("cache", ("corrupt_blob",)) is not None:
+            _flip_byte_on_disk(path)
+        last_error: Optional[Exception] = None
+        for attempt in range(2):
+            try:
+                body = self._read_validated(path, key)
+            except Exception as error:  # noqa: BLE001 — contract: never crash
+                last_error = error
+                if attempt == 0:
+                    self.perf.count("cache.reread")
+            else:
+                self.perf.count("cache.hits")
+                return body
+        self.perf.count("cache.corrupt")
+        warnings.warn(
+            f"ignoring unusable cache blob {path} ({last_error}); regenerating",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return None
+
+    def _read_validated(self, path: Path, key: CacheKey) -> dict:
+        """One read + validation pass; raises :class:`CacheCorruption`."""
+        text = path.read_text(encoding="utf-8")
+        if faults.fire("cache", ("torn_read",)) is not None:
+            text = text[: len(text) // 2]
+        try:
+            envelope = json.loads(text)
+        except ValueError as error:
+            raise CacheCorruption(f"undecodable JSON ({error})") from error
+        if not isinstance(envelope, dict):
+            raise CacheCorruption("envelope is not a JSON object")
+        if envelope.get("schema") != SCHEMA_VERSION:
+            raise CacheCorruption(
+                f"schema {envelope.get('schema')!r} != {SCHEMA_VERSION}"
+            )
+        if envelope.get("key") != key.fields():
+            raise CacheCorruption(
+                "key fields do not match (hash collision or stale blob)"
+            )
+        if "body" not in envelope:
+            raise CacheCorruption("envelope has no body")
+        body = envelope["body"]
+        if envelope.get("sha256") != _body_checksum(body):
+            raise CacheCorruption("body checksum mismatch")
+        return body
 
     def store(self, key: CacheKey, body: dict) -> Optional[Path]:
         """Atomically write a blob; returns its path (None when disabled)."""
@@ -230,6 +294,23 @@ class ECCCache:
             return None
         self.perf.count("cache.stores")
         return path
+
+    def delete(self, key: CacheKey) -> None:
+        """Remove a blob if present; never raises (used for spent checkpoints)."""
+        if not self.enabled:
+            return
+        try:
+            self.path_for(key).unlink()
+        except FileNotFoundError:
+            return
+        except OSError as error:
+            warnings.warn(
+                f"could not delete cache blob {self.path_for(key)} ({error})",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return
+        self.perf.count("cache.deletes")
 
     # -- typed layers --------------------------------------------------------
 

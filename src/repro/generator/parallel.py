@@ -25,16 +25,26 @@ Worker count resolution: an explicit ``workers`` argument wins, else the
 to set up or use the pool (unpicklable custom gates, missing ``fork`` and
 ``spawn`` restrictions, ...) degrades to the serial path with a warning —
 parallelism is an optimization, never a correctness dependency.
+
+Dispatch rides on :class:`repro.workerpool.ResilientPool`: chunks are sent
+asynchronously with per-chunk deadlines, and killed workers, wedged chunks
+and in-worker exceptions are retried (with pool respawn and backoff)
+before the *round* degrades to serial.  Because a chunk's hash keys are a
+pure function of the chunk payload and the context spec, a retried chunk
+returns the exact keys the first dispatch would have — recovery never
+perturbs the merged, byte-identical ECC set.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 from typing import List, Optional, Sequence, Tuple
 
+from repro import faults
 from repro.envconfig import WORKERS_ENV_VAR, env_workers
 from repro.ir.circuit import Circuit, Instruction
+from repro.perf import PerfRecorder
 from repro.semantics.fingerprint import FingerprintContext
+from repro.workerpool import ResilientPool
 
 __all__ = [
     "WORKERS_ENV_VAR",
@@ -74,8 +84,12 @@ def _init_worker(context_spec: dict) -> None:
     _WORKER_CONTEXT = FingerprintContext.from_spec(context_spec)
 
 
-def _hash_keys_for_chunk(chunk: Sequence[FingerprintJob]):
+def _hash_keys_for_chunk(payload):
     """Hash keys and evolved states for every candidate of a chunk of jobs.
+
+    ``payload`` is ``(chunk, fault_token)`` — the token (normally None) is
+    an injected-fault instruction executed before any real work, so chaos
+    tests can kill/delay/fail exactly one chunk deterministically.
 
     Each parent's evolved state is replayed once (bit-identical to the
     serial generator's incrementally-built state) and shared by all of the
@@ -91,6 +105,8 @@ def _hash_keys_for_chunk(chunk: Sequence[FingerprintJob]):
     cache: the verifier's numeric phase screen reuses those states during
     the ECC inserts, exactly as it does after a serial round.
     """
+    chunk, fault_token = payload
+    faults.apply_chunk_fault(fault_token)
     context = _WORKER_CONTEXT
     assert context is not None, "worker pool used before initialization"
     if context.batched:
@@ -119,22 +135,38 @@ class ParallelFingerprintPool:
 
     Created once per :meth:`RepGen.generate` call and reused across rounds,
     so workers amortize interpreter start-up and keep their state caches
-    warm between rounds.
+    warm between rounds.  Dispatch, per-chunk deadlines, retries and pool
+    respawn come from :class:`repro.workerpool.ResilientPool` (fault site
+    ``gen``).
     """
 
-    def __init__(self, context_spec: dict, workers: int) -> None:
-        if workers < 2:
-            raise ValueError("a parallel pool needs at least 2 workers")
+    def __init__(
+        self,
+        context_spec: dict,
+        workers: int,
+        *,
+        chunk_timeout: Optional[float] = None,
+        chunk_retries: Optional[int] = None,
+        perf: Optional[PerfRecorder] = None,
+    ) -> None:
         self.workers = workers
-        start_methods = multiprocessing.get_all_start_methods()
-        method = "fork" if "fork" in start_methods else start_methods[0]
-        self._pool = multiprocessing.get_context(method).Pool(
-            processes=workers,
-            initializer=_init_worker,
-            initargs=(dict(context_spec),),
+        self._pool = ResilientPool(
+            _hash_keys_for_chunk,
+            _init_worker,
+            (dict(context_spec),),
+            workers,
+            site="gen",
+            chunk_timeout=chunk_timeout,
+            chunk_retries=chunk_retries,
+            perf=perf,
         )
 
-    def hash_keys(self, jobs: Sequence[FingerprintJob]) -> List[Tuple[List[int], list]]:
+    def hash_keys(
+        self,
+        jobs: Sequence[FingerprintJob],
+        *,
+        round_index: Optional[int] = None,
+    ) -> List[Tuple[List[int], list]]:
         """Per job, in job order: (hash keys, candidate evolved states).
 
         Job order is what makes the parent's merge deterministic.  Jobs are
@@ -145,17 +177,19 @@ class ParallelFingerprintPool:
         parent's extensions (per-state path) or one chunk's total
         candidates (batched path) exceed the cache bound; unseeded states
         are simply recomputed by the parent on demand.
+
+        ``round_index`` is only consumed by round-targeted fault-injection
+        entries (``kill_worker:gen:round2``); it never affects results.
         """
         if not jobs:
             return []
         chunk_size = max(1, len(jobs) // (self.workers * 4))
         chunks = [jobs[i : i + chunk_size] for i in range(0, len(jobs), chunk_size)]
-        per_chunk = self._pool.map(_hash_keys_for_chunk, chunks, chunksize=1)
+        per_chunk = self._pool.run_chunks(chunks, round_index=round_index)
         return [job_result for chunk_result in per_chunk for job_result in chunk_result]
 
     def close(self) -> None:
-        self._pool.terminate()
-        self._pool.join()
+        self._pool.close()
 
     def __enter__(self) -> "ParallelFingerprintPool":
         return self

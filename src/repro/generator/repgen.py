@@ -18,8 +18,11 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
+from repro import faults
+from repro.envconfig import env_resume
+from repro.errors import CheckpointError, FaultInjected, PoolError
 from repro.generator.cache import CacheKey, ECCCache, backend_kind, cache_key
-from repro.generator.ecc import ECC, ECCSet
+from repro.generator.ecc import ECC, ECCSet, circuit_from_payload, circuit_to_payload
 from repro.generator.parallel import (
     MIN_PARALLEL_CANDIDATES,
     FingerprintJob,
@@ -129,6 +132,18 @@ class RepGen:
             backend; fused-kernel backends (numba) get a dedicated
             persistent-cache namespace when batching is on, since their
             batched arithmetic may bucket differently.
+        chunk_timeout: per-chunk deadline (seconds) for both worker pools'
+            async dispatch (None reads ``REPRO_CHUNK_TIMEOUT``; <= 0
+            disables the deadline).  Recovery never changes the output.
+        chunk_retries: re-dispatch budget per failed/timed-out chunk (None
+            reads ``REPRO_CHUNK_RETRIES``); only after the budget is
+            exhausted does the affected *round* degrade to serial.
+        resume: write a round-granular checkpoint through the persistent
+            cache after every completed round and resume a killed run from
+            the last completed one (None reads ``REPRO_RESUME``, default
+            off).  Effective only when :meth:`generate` gets an enabled
+            cache; a resumed run's final ECC JSON is byte-identical to an
+            uninterrupted one's.
     """
 
     def __init__(
@@ -143,12 +158,20 @@ class RepGen:
         verify_workers: Optional[int] = None,
         backend: str = "numpy",
         batched: Optional[bool] = None,
+        chunk_timeout: Optional[float] = None,
+        chunk_retries: Optional[int] = None,
+        resume: Optional[bool] = None,
     ) -> None:
         self.gate_set = gate_set
         self.num_qubits = num_qubits
         self.seed = seed
         self.workers = resolve_workers(workers)
         self.verify_workers = resolve_verify_workers(verify_workers)
+        # Raw knobs: the pools resolve None against the environment, so a
+        # RepGen built without explicit values still honors REPRO_CHUNK_*.
+        self.chunk_timeout = chunk_timeout
+        self.chunk_retries = chunk_retries
+        self.resume = env_resume() if resume is None else bool(resume)
         # Aggregated stats of the verifier *workers* (the parent verifier
         # keeps its own); reset per generate() run and merged into that
         # run's GeneratorStats.
@@ -235,6 +258,10 @@ class RepGen:
         With a ``cache``, a warm hit for this exact configuration (gate
         set, n, q, m, seed — plus the serialization schema version) skips
         generation entirely and a completed run is stored for the next one.
+        With ``resume`` on as well, every completed round checkpoints
+        through the cache (``repgen-ckpt@…`` namespace) and a killed run
+        picks up at the last completed round; the checkpoint is deleted
+        once the run finishes.
         """
         key: Optional[CacheKey] = None
         if cache is not None:
@@ -245,9 +272,12 @@ class RepGen:
                 return cached
             self.perf.count("repgen.cache.misses")
 
-        result = self._generate_uncached(max_gates, verbose)
+        result = self._generate_uncached(max_gates, verbose, cache=cache)
         if cache is not None and key is not None:
             cache.store_generator_result(key, result)
+            if self.resume:
+                # The run completed; its checkpoint is spent.
+                cache.delete(self._checkpoint_key(max_gates))
         return result
 
     def _cache_key(self, max_gates: int) -> CacheKey:
@@ -265,25 +295,171 @@ class RepGen:
             self.seed,
         )
 
-    def _generate_uncached(self, max_gates: int, verbose: bool) -> GeneratorResult:
+    def _checkpoint_key(self, max_gates: int) -> CacheKey:
+        """The ``repgen-ckpt@…`` key for this configuration's resume state.
+
+        Same identity fields as the result key — only the kind namespace
+        differs — so a checkpoint can never be confused with a finished
+        result, and a different seed/backend/scale can never resume from it.
+        """
+        return cache_key(
+            backend_kind(
+                "repgen-ckpt",
+                self.backend_name,
+                batched=self.batched,
+                batch_bit_identical=self.fingerprints.backend.batch_bit_identical,
+            ),
+            self.gate_set,
+            max_gates,
+            self.num_qubits,
+            self.num_params,
+            self.seed,
+        )
+
+    def _store_checkpoint(
+        self,
+        cache: ECCCache,
+        key: CacheKey,
+        completed_round: int,
+        max_gates: int,
+        eccs: List[ECC],
+        ecc_buckets: Dict[int, List[int]],
+        stats: GeneratorStats,
+    ) -> None:
+        """Persist the loop state a resume needs, atomically, after a round.
+
+        The class list (with every member in insertion order — member order
+        is what ``ECC.representative`` and the verdict anchors depend on)
+        and the fingerprint bucket index are the whole loop state;
+        representatives are recomputed from the classes on restore exactly
+        as the round loop recomputes them.  Goes through the cache's
+        checksummed atomic-write machinery, so a crash *during* a
+        checkpoint write leaves the previous checkpoint intact.
+        """
+        body = {
+            "completed_round": completed_round,
+            "max_gates": max_gates,
+            "eccs": [
+                [circuit_to_payload(circuit) for circuit in ecc.circuits]
+                for ecc in eccs
+            ],
+            "buckets": [
+                [bucket, list(indices)] for bucket, indices in ecc_buckets.items()
+            ],
+            "stats": {
+                "circuits_considered": stats.circuits_considered,
+                "rounds": list(stats.rounds),
+            },
+        }
+        if cache.store(key, body) is not None:
+            self.perf.count("resilience.checkpoint_writes")
+
+    def _restore_checkpoint(
+        self,
+        cache: ECCCache,
+        key: CacheKey,
+        max_gates: int,
+        stats: GeneratorStats,
+    ) -> Optional[Tuple[int, List[ECC], Dict[int, List[int]]]]:
+        """Load resume state; returns (start round, classes, buckets) or None.
+
+        An unusable checkpoint (wrong scale, undeserializable) is dropped
+        with a warning and the run restarts from round 1 — resume is an
+        optimization and must never change whether generation succeeds.
+        """
+        body = cache.load(key)
+        if body is None:
+            return None
+        try:
+            if int(body["max_gates"]) != max_gates:
+                raise CheckpointError(
+                    f"checkpoint is for n={body['max_gates']}, not n={max_gates}"
+                )
+            completed_round = int(body["completed_round"])
+            if not 1 <= completed_round <= max_gates:
+                raise CheckpointError(
+                    f"checkpoint round {completed_round} out of range"
+                )
+            eccs = [
+                ECC(
+                    [
+                        circuit_from_payload(payload, num_params=self.num_params)
+                        for payload in circuits
+                    ]
+                )
+                for circuits in body["eccs"]
+            ]
+            if not eccs:
+                raise CheckpointError("checkpoint has no classes")
+            ecc_buckets: Dict[int, List[int]] = {
+                int(bucket): [int(index) for index in indices]
+                for bucket, indices in body["buckets"]
+            }
+            circuits_considered = int(body["stats"]["circuits_considered"])
+            rounds = list(body["stats"]["rounds"])
+        except Exception as error:  # noqa: BLE001 — resume must never break a run
+            warnings.warn(
+                f"ignoring unusable resume checkpoint ({error}); "
+                "restarting from round 1",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            self.perf.count("resilience.checkpoint_rejects")
+            return None
+        stats.circuits_considered = circuits_considered
+        stats.rounds = rounds
+        self.perf.count("resilience.resumes")
+        self.perf.count("resilience.resumed_rounds", completed_round)
+        return completed_round + 1, eccs, ecc_buckets
+
+    def _generate_uncached(
+        self,
+        max_gates: int,
+        verbose: bool,
+        *,
+        cache: Optional[ECCCache] = None,
+    ) -> GeneratorResult:
         start_time = time.perf_counter()
         stats = GeneratorStats()
         # Worker stats are per-run (they merge into this run's perf snapshot
         # at the end); carrying them over would double-count a reused RepGen.
         self._worker_verifier_stats = VerifierStats()
-        pool = self._make_pool()
-        verify_pool = self._make_verify_pool()
 
         empty = Circuit(self.num_qubits, num_params=self.num_params)
         eccs: List[ECC] = [ECC([empty])]
         ecc_buckets: Dict[int, List[int]] = {}
-        self._register_bucket(ecc_buckets, self.fingerprints.hash_key(empty), 0)
+        start_round = 1
+        ckpt_key: Optional[CacheKey] = None
+        if cache is not None and cache.enabled and self.resume:
+            ckpt_key = self._checkpoint_key(max_gates)
+            restored = self._restore_checkpoint(cache, ckpt_key, max_gates, stats)
+            if restored is not None:
+                start_round, eccs, ecc_buckets = restored
+                if verbose:
+                    print(f"[repgen] resuming at round {start_round}")
 
-        rep_keys: Set[tuple] = {empty.sequence_key()}
-        reps_by_size: Dict[int, List[Circuit]] = {0: [empty]}
+        if start_round == 1:
+            self._register_bucket(ecc_buckets, self.fingerprints.hash_key(empty), 0)
 
+        # Representatives are recomputed from the classes at the end of
+        # every round; seeding them here (from the restored classes when
+        # resuming) keeps the round loop itself oblivious to resume.
+        rep_keys: Set[tuple] = set()
+        reps_by_size: Dict[int, List[Circuit]] = {}
+        for ecc in eccs:
+            representative = ecc.representative
+            rep_keys.add(representative.sequence_key())
+            reps_by_size.setdefault(len(representative), []).append(representative)
+
+        # Pools are created inside the try so that *any* failure between
+        # here and the end of the round loop — including pool construction
+        # partially succeeding — still terminates every worker process.
+        pool = None
+        verify_pool = None
         try:
-            for round_index in range(1, max_gates + 1):
+            pool = self._make_pool()
+            verify_pool = self._make_verify_pool()
+            for round_index in range(start_round, max_gates + 1):
                 round_start = time.perf_counter()
                 parents = reps_by_size.get(round_index - 1, [])
 
@@ -321,7 +497,7 @@ class RepGen:
                 # only looks verdicts up, so the assignment of candidates to
                 # classes is identical to the serial path no matter which
                 # worker answered first.
-                keys_per_job = self._fingerprint_jobs(jobs, pool)
+                keys_per_job = self._fingerprint_jobs(jobs, pool, round_index)
                 candidates: List[Circuit] = []
                 candidate_keys: List[int] = []
                 for (parent, extensions), keys in zip(jobs, keys_per_job):
@@ -329,7 +505,8 @@ class RepGen:
                         candidates.append(parent.appended(inst))
                         candidate_keys.append(hash_key)
                 verdicts = self._verify_round_table(
-                    candidates, candidate_keys, eccs, ecc_buckets, verify_pool
+                    candidates, candidate_keys, eccs, ecc_buckets, verify_pool,
+                    round_index,
                 )
                 for index, (candidate, hash_key) in enumerate(
                     zip(candidates, candidate_keys)
@@ -362,6 +539,18 @@ class RepGen:
                     print(
                         f"[repgen] round {round_index}: considered "
                         f"{considered_this_round}, classes {len(eccs)}"
+                    )
+                if ckpt_key is not None:
+                    self._store_checkpoint(
+                        cache, ckpt_key, round_index, max_gates, eccs,
+                        ecc_buckets, stats,
+                    )
+                # The reproducible mid-run crash for resume testing fires
+                # *after* the round's checkpoint, so a crashed run always
+                # has its completed rounds on disk.
+                if faults.fire("gen", ("crash_run",), round_index=round_index):
+                    raise FaultInjected(
+                        f"injected crash_run after round {round_index}"
                     )
         finally:
             if pool is not None:
@@ -411,7 +600,13 @@ class RepGen:
         if self.workers < 2:
             return None
         try:
-            pool = ParallelFingerprintPool(self.fingerprints.spec(), self.workers)
+            pool = ParallelFingerprintPool(
+                self.fingerprints.spec(),
+                self.workers,
+                chunk_timeout=self.chunk_timeout,
+                chunk_retries=self.chunk_retries,
+                perf=self.perf,
+            )
         except Exception as error:  # noqa: BLE001 — any failure means "go serial"
             warnings.warn(
                 f"could not start {self.workers} fingerprint workers "
@@ -448,7 +643,13 @@ class RepGen:
             self.perf.count("verifier.parallel.unsupported_verifier")
             return None
         try:
-            pool = ParallelVerifierPool(self.verifier.spec(), self.verify_workers)
+            pool = ParallelVerifierPool(
+                self.verifier.spec(),
+                self.verify_workers,
+                chunk_timeout=self.chunk_timeout,
+                chunk_retries=self.chunk_retries,
+                perf=self.perf,
+            )
         except Exception as error:  # noqa: BLE001 — any failure means "go serial"
             warnings.warn(
                 f"could not start {self.verify_workers} verifier workers "
@@ -469,6 +670,7 @@ class RepGen:
         eccs: List[ECC],
         ecc_buckets: Dict[int, List[int]],
         pool: Optional[ParallelVerifierPool],
+        round_index: Optional[int] = None,
     ) -> Optional["_RoundVerdicts"]:
         """Precompute every verdict this round's inserts could ask for.
 
@@ -523,8 +725,13 @@ class RepGen:
         if len(pairs) < MIN_PARALLEL_VERIFY_PAIRS:
             return None
         try:
-            results, worker_stats, worker_counters = pool.verify_pairs(pairs)
-        except Exception as error:  # noqa: BLE001
+            results, worker_stats, worker_counters = pool.verify_pairs(
+                pairs, round_index=round_index
+            )
+        except PoolError as error:
+            # Only infrastructure failures that already survived the pool's
+            # own retry/respawn loop land here; anything else escaping the
+            # pool is a bug and must surface, not silently degrade.
             warnings.warn(
                 f"verifier worker pool failed ({error}); "
                 "falling back to serial verification",
@@ -532,6 +739,7 @@ class RepGen:
                 stacklevel=4,
             )
             self.perf.count("verifier.parallel.round_failures")
+            self.perf.count("resilience.rounds_degraded")
             return None
         self._worker_verifier_stats.add(worker_stats)
         self.perf.merge_counts(worker_counters)
@@ -547,6 +755,7 @@ class RepGen:
         self,
         jobs: List[FingerprintJob],
         pool: Optional[ParallelFingerprintPool],
+        round_index: Optional[int] = None,
     ) -> List[List[int]]:
         """Hash keys for every job, sharded across the pool when worthwhile.
 
@@ -556,7 +765,7 @@ class RepGen:
         total = sum(len(extensions) for _, extensions in jobs)
         if pool is not None and total >= MIN_PARALLEL_CANDIDATES:
             try:
-                results = pool.hash_keys(jobs)
+                results = pool.hash_keys(jobs, round_index=round_index)
                 # Seed the main-process fingerprint cache with the worker
                 # states so the verifier's phase screen hits on them during
                 # the inserts, exactly as it would after a serial round.
@@ -582,7 +791,11 @@ class RepGen:
                     }
                 )
                 return keys
-            except Exception as error:  # noqa: BLE001
+            except PoolError as error:
+                # Only infrastructure failures that already survived the
+                # pool's own retry/respawn loop; a serial re-run of the
+                # round computes the exact same keys, so degrading here
+                # never changes the output.
                 warnings.warn(
                     f"fingerprint worker pool failed ({error}); "
                     "falling back to serial fingerprinting",
@@ -590,6 +803,7 @@ class RepGen:
                     stacklevel=3,
                 )
                 self.perf.count("repgen.parallel.round_failures")
+                self.perf.count("resilience.rounds_degraded")
         if self.batched:
             # One batched evaluation for the whole round: candidates are
             # grouped by instruction inside the context, so per-gate

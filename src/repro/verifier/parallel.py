@@ -27,6 +27,13 @@ failure to set up or use the pool degrades to the serial path with a
 warning, exactly like :mod:`repro.generator.parallel` — parallelism is an
 optimization, never a correctness dependency.
 
+Dispatch rides on :class:`repro.workerpool.ResilientPool` (fault site
+``verify``): per-chunk deadlines, retries with pool respawn, and
+degradation of a single round (not the run) only after the retry budget is
+exhausted.  A verdict is a pure function of the pair and the verifier
+spec, so retried chunks reproduce their verdicts exactly and recovery
+never perturbs the byte-identical ECC set.
+
 Each worker batch also reports its :class:`VerifierStats` delta and its
 ``verifier.*`` perf counters; the parent aggregates them (via
 :meth:`VerifierStats.merge`) into ``GeneratorStats`` so multi-worker runs
@@ -35,9 +42,9 @@ keep the Table 5 / Table 8 metrics and the cache hit rates observable.
 
 from __future__ import annotations
 
-import multiprocessing
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import faults
 from repro.envconfig import VERIFY_WORKERS_ENV_VAR, env_verify_workers
 from repro.ir.circuit import Circuit
 from repro.perf import PerfRecorder
@@ -46,6 +53,7 @@ from repro.verifier.equivalence import (
     VerificationResult,
     VerifierStats,
 )
+from repro.workerpool import ResilientPool
 
 __all__ = [
     "VERIFY_WORKERS_ENV_VAR",
@@ -86,14 +94,19 @@ def _init_worker(verifier_spec: dict) -> None:
     _WORKER_VERIFIER = EquivalenceVerifier.from_spec(verifier_spec)
 
 
-def _verify_chunk(pairs: Sequence[VerifyPair]):
+def _verify_chunk(payload):
     """Verdicts, stats delta and perf counters for one shard of pairs.
+
+    ``payload`` is ``(pairs, fault_token)`` — the token (normally None) is
+    an injected-fault instruction executed before any real work.
 
     The verifier itself persists across chunks (so its symbolic matrix and
     fingerprint caches stay warm within a run), but stats and perf counters
     are swapped out per chunk so the parent receives exact deltas it can
     aggregate without double counting.
     """
+    pairs, fault_token = payload
+    faults.apply_chunk_fault(fault_token)
     verifier = _WORKER_VERIFIER
     assert verifier is not None, "verifier pool used before initialization"
     verifier.stats = VerifierStats()
@@ -110,32 +123,49 @@ class ParallelVerifierPool:
 
     Created once per :meth:`RepGen.generate` call and reused across rounds,
     so workers amortize interpreter start-up and keep their symbolic-matrix
-    and fingerprint caches warm between rounds.
+    and fingerprint caches warm between rounds.  Dispatch, per-chunk
+    deadlines, retries and pool respawn come from
+    :class:`repro.workerpool.ResilientPool` (fault site ``verify``).
     """
 
-    def __init__(self, verifier_spec: dict, workers: int) -> None:
-        if workers < 2:
-            raise ValueError("a parallel verifier pool needs at least 2 workers")
+    def __init__(
+        self,
+        verifier_spec: dict,
+        workers: int,
+        *,
+        chunk_timeout: Optional[float] = None,
+        chunk_retries: Optional[int] = None,
+        perf: Optional[PerfRecorder] = None,
+    ) -> None:
         self.workers = workers
-        start_methods = multiprocessing.get_all_start_methods()
-        method = "fork" if "fork" in start_methods else start_methods[0]
-        self._pool = multiprocessing.get_context(method).Pool(
-            processes=workers,
-            initializer=_init_worker,
-            initargs=(dict(verifier_spec),),
+        self._pool = ResilientPool(
+            _verify_chunk,
+            _init_worker,
+            (dict(verifier_spec),),
+            workers,
+            site="verify",
+            chunk_timeout=chunk_timeout,
+            chunk_retries=chunk_retries,
+            perf=perf,
         )
 
-    def verify_pairs(self, pairs: Sequence[VerifyPair]) -> BatchOutcome:
+    def verify_pairs(
+        self,
+        pairs: Sequence[VerifyPair],
+        *,
+        round_index: Optional[int] = None,
+    ) -> BatchOutcome:
         """Verdicts for every pair, in pair order, plus aggregated worker stats.
 
         Pair order is what lets the parent address verdicts by enumeration
         index; the per-chunk stats and counters are merged here so callers
         see one delta per batch regardless of how the shards were split.
+        ``round_index`` only feeds round-targeted fault-injection entries.
         """
         if not pairs:
             return [], VerifierStats(), {}
         chunks = self._chunk(pairs)
-        outcomes = self._pool.map(_verify_chunk, chunks)
+        outcomes = self._pool.run_chunks(chunks, round_index=round_index)
         results: List[VerificationResult] = []
         counters: Dict[str, int] = {}
         for chunk_results, _, chunk_counters in outcomes:
@@ -153,8 +183,7 @@ class ParallelVerifierPool:
         ]
 
     def close(self) -> None:
-        self._pool.terminate()
-        self._pool.join()
+        self._pool.close()
 
     def __enter__(self) -> "ParallelVerifierPool":
         return self

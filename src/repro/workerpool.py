@@ -1,0 +1,279 @@
+"""Self-healing multiprocessing dispatch shared by the worker pools.
+
+PRs 2 and 4 sharded RepGen fingerprinting and bucket verification across
+``multiprocessing.Pool.map`` — which is a happy-path primitive: a worker
+killed mid-``map`` (OOM, segfault, operator) leaves the call blocked
+forever, a slow chunk stalls the whole round behind it, and the only
+recovery the callers had was degrading the *entire run* to serial.
+
+:class:`ResilientPool` replaces the blocking ``map`` with asynchronous
+per-chunk dispatch plus a recovery loop:
+
+* every chunk is submitted with ``apply_async`` and collected with a
+  per-chunk deadline (``REPRO_CHUNK_TIMEOUT``); a lost worker's chunk
+  surfaces as :class:`~repro.errors.ChunkTimeout` instead of a hang;
+* failed or timed-out chunks are re-dispatched with bounded exponential
+  backoff (``REPRO_CHUNK_RETRIES``); a timeout additionally terminates and
+  respawns the pool first, because a stuck or dead worker may be holding a
+  slot (clean in-worker exceptions retry on the live pool);
+* chunks whose result arrived *late* — after the deadline sweep but before
+  the respawn — are recovered as-is rather than re-executed;
+* only when a chunk exhausts its retry budget does
+  :class:`~repro.errors.RetryExhausted` escape, and the callers degrade
+  that one round (not the run) to the serial path.
+
+Re-dispatch is safe by construction: both pools' chunk results are pure
+functions of the chunk payload and the worker-initializer spec (same seed,
+hence bit-identical replay), so a retried chunk returns byte-identical
+results — asserted directly by ``tests/test_resilience.py`` (chunk
+re-execution identity) and end-to-end by every serial-vs-parallel
+``ECCSet.to_json`` byte-identity test run under injected faults.
+
+Fault injection: at dispatch time the pool consults the active
+:mod:`repro.faults` plan (site ``gen`` or ``verify``, round-aware) and, if
+an entry fires, attaches the corresponding worker-side token to the
+round's first chunk.  Faults fire on first dispatch only — retried chunks
+are shipped clean, mirroring real transient failures.
+
+Recovery is observable through ``resilience.*`` perf counters
+(``chunk_timeouts``, ``chunk_failures``, ``chunk_retries``,
+``pool_respawns``, ``late_results``, ``faults_injected``, ...) that the
+generator folds into ``GeneratorStats.perf`` and the facade surfaces in
+``RunReport`` provenance.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from typing import Callable, List, Optional, Sequence
+
+from repro import faults
+from repro.envconfig import env_chunk_retries, env_chunk_timeout
+from repro.errors import ChunkTimeout, PoolError, RetryExhausted, WorkerCrash
+from repro.perf import NULL_RECORDER, PerfRecorder
+
+__all__ = [
+    "ResilientPool",
+    "resolve_chunk_timeout",
+    "resolve_chunk_retries",
+    "BACKOFF_BASE_SECONDS",
+    "BACKOFF_CAP_SECONDS",
+]
+
+#: First-retry backoff; doubles per attempt, capped below.  Small on
+#: purpose: chunk re-execution is cheap and deterministic, the backoff only
+#: exists to let a respawned pool finish initializing under load.
+BACKOFF_BASE_SECONDS = 0.1
+BACKOFF_CAP_SECONDS = 2.0
+
+_PENDING = object()
+
+
+def resolve_chunk_timeout(chunk_timeout: Optional[float] = None) -> Optional[float]:
+    """Resolve a per-chunk deadline: explicit argument, else environment.
+
+    ``None`` means "ask the environment"; an explicit non-positive value
+    means "no deadline" (and forfeits the no-hang guarantee, so it is an
+    opt-out, never a default).
+    """
+    if chunk_timeout is None:
+        return env_chunk_timeout()
+    return None if chunk_timeout <= 0 else float(chunk_timeout)
+
+
+def resolve_chunk_retries(chunk_retries: Optional[int] = None) -> int:
+    """Resolve a chunk retry budget: explicit argument, else environment."""
+    if chunk_retries is None:
+        return env_chunk_retries()
+    return max(int(chunk_retries), 0)
+
+
+class ResilientPool:
+    """A persistent worker pool with timeouts, retries and self-respawn.
+
+    Args:
+        worker_fn: module-level function each chunk is dispatched to; it
+            receives ``(chunk, fault_token)`` payload tuples.
+        initializer / initargs: per-worker process initialization (rebuilds
+            the picklable spec into live worker state).
+        workers: pool size (>= 2; a single worker should use the serial
+            path instead).
+        site: fault-injection site name (``"gen"`` / ``"verify"``).
+        chunk_timeout: per-chunk deadline in seconds (None = environment;
+            <= 0 = no deadline).
+        chunk_retries: re-dispatch budget per chunk (None = environment).
+        perf: recorder the ``resilience.*`` counters land in.
+    """
+
+    def __init__(
+        self,
+        worker_fn: Callable,
+        initializer: Callable,
+        initargs: tuple,
+        workers: int,
+        *,
+        site: str,
+        chunk_timeout: Optional[float] = None,
+        chunk_retries: Optional[int] = None,
+        perf: Optional[PerfRecorder] = None,
+    ) -> None:
+        if workers < 2:
+            raise ValueError("a parallel pool needs at least 2 workers")
+        self.worker_fn = worker_fn
+        self.workers = workers
+        self.site = site
+        self.chunk_timeout = resolve_chunk_timeout(chunk_timeout)
+        self.chunk_retries = resolve_chunk_retries(chunk_retries)
+        self.perf = perf if perf is not None else NULL_RECORDER
+        self._initializer = initializer
+        self._initargs = initargs
+        self._pool = None
+        try:
+            self._spawn()
+        except Exception as error:
+            raise PoolError(f"could not start worker pool: {error}") from error
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _spawn(self) -> None:
+        start_methods = multiprocessing.get_all_start_methods()
+        method = "fork" if "fork" in start_methods else start_methods[0]
+        self._pool = multiprocessing.get_context(method).Pool(
+            processes=self.workers,
+            initializer=self._initializer,
+            initargs=self._initargs,
+        )
+
+    def _terminate(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def _respawn(self) -> None:
+        """Tear down the pool (killing stuck workers) and start a fresh one."""
+        self._terminate()
+        self._spawn()
+        self.perf.count("resilience.pool_respawns")
+
+    def close(self) -> None:
+        """Terminate and join every worker; safe to call more than once."""
+        self._terminate()
+
+    def __enter__(self) -> "ResilientPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- dispatch ------------------------------------------------------------
+
+    def run_chunks(
+        self, chunks: Sequence, *, round_index: Optional[int] = None
+    ) -> List:
+        """Results for every chunk, in chunk order, surviving worker death.
+
+        Raises :class:`RetryExhausted` when some chunk still has no result
+        after every configured retry — the only exception this method lets
+        escape, so callers degrade on ``except PoolError`` alone.
+        """
+        if not chunks:
+            return []
+        if self._pool is None:
+            raise PoolError("pool is closed")
+        results = [_PENDING] * len(chunks)
+        pending = list(range(len(chunks)))
+        last_error: Optional[PoolError] = None
+        for attempt in range(self.chunk_retries + 1):
+            if attempt:
+                self.perf.count("resilience.chunk_retries", len(pending))
+                time.sleep(
+                    min(
+                        BACKOFF_BASE_SECONDS * (2 ** (attempt - 1)),
+                        BACKOFF_CAP_SECONDS,
+                    )
+                )
+            tokens = {}
+            if attempt == 0:
+                action = faults.fire(
+                    self.site, faults.CHUNK_ACTIONS, round_index=round_index
+                )
+                if action is not None:
+                    tokens[pending[0]] = faults.chunk_token(
+                        action, self.chunk_timeout
+                    )
+                    self.perf.count("resilience.faults_injected")
+            try:
+                pending, timed_out, last_error = self._run_attempt(
+                    chunks, pending, tokens, results
+                )
+            except PoolError:
+                raise
+            except Exception as error:
+                # Dispatch-side failure (pool already broken, payload
+                # unpicklable at submission, ...): every pending chunk
+                # counts as failed for this attempt.
+                self.perf.count("resilience.dispatch_failures")
+                timed_out = True  # assume the pool is unusable
+                last_error = WorkerCrash(f"chunk dispatch failed: {error}")
+            if not pending:
+                return results
+            if attempt < self.chunk_retries and timed_out:
+                # A timeout means a worker may be dead or wedged while
+                # still holding a pool slot; a clean in-worker exception
+                # leaves the pool healthy, so only timeouts force respawn.
+                self._respawn()
+        raise RetryExhausted(
+            f"{len(pending)} of {len(chunks)} chunks still failing after "
+            f"{self.chunk_retries} retries (last error: {last_error})"
+        )
+
+    def _run_attempt(self, chunks, pending, tokens, results):
+        """One dispatch wave over ``pending``; fills ``results`` in place.
+
+        Returns ``(still_failed, any_timeout, last_error)``.  Chunks whose
+        result arrived after their deadline but before the sweep finished
+        are recovered verbatim (``resilience.late_results``) — never
+        re-executed, so recovery work is bounded by what actually failed.
+        """
+        handles = {
+            index: self._pool.apply_async(
+                self.worker_fn, ((chunks[index], tokens.get(index)),)
+            )
+            for index in pending
+        }
+        failed: List[int] = []
+        timed_out = False
+        last_error: Optional[PoolError] = None
+        for index, handle in handles.items():
+            try:
+                if self.chunk_timeout is None:
+                    results[index] = handle.get()
+                else:
+                    results[index] = handle.get(timeout=self.chunk_timeout)
+            except multiprocessing.TimeoutError:
+                timed_out = True
+                failed.append(index)
+                last_error = ChunkTimeout(
+                    f"chunk {index} missed its {self.chunk_timeout}s deadline"
+                )
+                self.perf.count("resilience.chunk_timeouts")
+            except Exception as error:
+                failed.append(index)
+                last_error = WorkerCrash(f"chunk {index} failed: {error}")
+                self.perf.count("resilience.chunk_failures")
+        still_failed: List[int] = []
+        for index in failed:
+            handle = handles[index]
+            recovered = False
+            if handle.ready():
+                try:
+                    results[index] = handle.get(timeout=0)
+                    recovered = True
+                    self.perf.count("resilience.late_results")
+                except Exception:
+                    pass  # counted above; stays failed
+            if not recovered:
+                still_failed.append(index)
+        return still_failed, timed_out, last_error

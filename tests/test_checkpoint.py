@@ -1,0 +1,170 @@
+"""Crash-safe RepGen checkpoint/resume tests (``repgen-ckpt@…`` blobs).
+
+The contract: with ``resume`` on, every completed round persists enough
+state that a killed run restarts at the last completed round — and the
+resumed run's ``ECCSet.to_json`` is byte-identical to an uninterrupted
+one's.  Resume is an optimization, never a correctness dependency: an
+unusable checkpoint (wrong scale, garbage) is dropped with a warning and
+the run regenerates from round 1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.errors import FaultInjected
+from repro.faults import FaultPlan
+from repro.generator import RepGen
+from repro.generator.cache import ECCCache
+from repro.ir.gatesets import NAM
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_plan():
+    faults.set_fault_plan(None)
+    yield
+    faults.set_fault_plan(None)
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ECCCache(tmp_path / "cache", enabled=True)
+
+
+def _repgen(**kwargs):
+    return RepGen(NAM, num_qubits=2, num_params=2, **kwargs)
+
+
+def _ckpt_blobs(cache):
+    if not cache.directory.exists():
+        return []
+    return sorted(cache.directory.glob("repgen-ckpt_*.json"))
+
+
+@pytest.fixture(scope="module")
+def uninterrupted_json():
+    return _repgen().generate(2).ecc_set.to_json()
+
+
+class TestCrashResume:
+    def test_crash_then_resume_is_byte_identical(self, cache, uninterrupted_json):
+        # Round 1 completes, checkpoints, then the injected crash kills the
+        # run — the canonical "operator preemption mid-generation" story.
+        crashed = _repgen(resume=True)
+        faults.set_fault_plan(FaultPlan.from_string("crash_run:gen:round1"))
+        with pytest.raises(FaultInjected):
+            crashed.generate(2, cache=cache)
+        assert len(_ckpt_blobs(cache)) == 1
+        assert crashed.perf.snapshot().get("resilience.checkpoint_writes") == 1
+
+        faults.set_fault_plan(None)
+        resumed = _repgen(resume=True)
+        result = resumed.generate(2, cache=cache)
+        assert result.ecc_set.to_json() == uninterrupted_json
+        perf = result.stats.perf
+        assert perf.get("resilience.resumes") == 1
+        assert perf.get("resilience.resumed_rounds") == 1
+        # The completed run spends its checkpoint.
+        assert _ckpt_blobs(cache) == []
+
+    def test_resumed_stats_carry_the_completed_rounds(self, cache):
+        crashed = _repgen(resume=True)
+        faults.set_fault_plan(FaultPlan.from_string("crash_run:gen:round1"))
+        with pytest.raises(FaultInjected):
+            crashed.generate(2, cache=cache)
+        faults.set_fault_plan(None)
+        result = _repgen(resume=True).generate(2, cache=cache)
+        # Both rounds are present even though only round 2 ran live.
+        assert [entry["round"] for entry in result.stats.rounds] == [1, 2]
+        reference = _repgen().generate(2)
+        assert (
+            result.stats.circuits_considered == reference.stats.circuits_considered
+        )
+
+    def test_resume_off_never_writes_checkpoints(self, cache):
+        result = _repgen(resume=False).generate(2, cache=cache)
+        assert _ckpt_blobs(cache) == []
+        assert "resilience.checkpoint_writes" not in result.stats.perf
+        # The finished result itself is still cached normally.
+        assert list(cache.directory.glob("repgen_*.json"))
+
+    def test_resume_without_cache_is_a_noop(self, uninterrupted_json):
+        result = _repgen(resume=True).generate(2)
+        assert result.ecc_set.to_json() == uninterrupted_json
+        assert "resilience.checkpoint_writes" not in result.stats.perf
+
+
+class TestUnusableCheckpoints:
+    def test_wrong_scale_checkpoint_rejected(self, cache, uninterrupted_json):
+        generator = _repgen(resume=True)
+        key = generator._checkpoint_key(2)
+        # A blob under the n=2 key claiming to hold n=5 state: the key
+        # namespacing makes this near-impossible to produce organically,
+        # but the restore path still refuses rather than trusts it.
+        cache.store(
+            key,
+            {
+                "completed_round": 1,
+                "max_gates": 5,
+                "eccs": [],
+                "buckets": [],
+                "stats": {"circuits_considered": 0, "rounds": []},
+            },
+        )
+        with pytest.warns(RuntimeWarning, match="unusable resume checkpoint"):
+            result = generator.generate(2, cache=cache)
+        assert result.ecc_set.to_json() == uninterrupted_json
+        assert result.stats.perf.get("resilience.checkpoint_rejects") == 1
+
+    def test_garbage_checkpoint_rejected(self, cache, uninterrupted_json):
+        generator = _repgen(resume=True)
+        cache.store(generator._checkpoint_key(2), {"completed_round": "soon"})
+        with pytest.warns(RuntimeWarning, match="unusable resume checkpoint"):
+            result = generator.generate(2, cache=cache)
+        assert result.ecc_set.to_json() == uninterrupted_json
+
+    def test_out_of_range_round_rejected(self, cache, uninterrupted_json):
+        generator = _repgen(resume=True)
+        cache.store(
+            generator._checkpoint_key(2),
+            {
+                "completed_round": 9,
+                "max_gates": 2,
+                "eccs": [[[2, 2, []]]],
+                "buckets": [],
+                "stats": {"circuits_considered": 0, "rounds": []},
+            },
+        )
+        with pytest.warns(RuntimeWarning, match="unusable resume checkpoint"):
+            result = generator.generate(2, cache=cache)
+        assert result.ecc_set.to_json() == uninterrupted_json
+
+
+class TestKeyNamespacing:
+    def test_checkpoint_key_is_distinct_from_result_key(self):
+        generator = _repgen()
+        ckpt = generator._checkpoint_key(2)
+        result = generator._cache_key(2)
+        assert ckpt.kind == "repgen-ckpt"
+        assert result.kind == "repgen"
+        assert ckpt.filename() != result.filename()
+        # Everything except the namespace agrees, so a checkpoint can only
+        # ever be resumed by the exact configuration that wrote it.
+        assert (ckpt.gate_set, ckpt.n, ckpt.q, ckpt.m, ckpt.seed) == (
+            result.gate_set,
+            result.n,
+            result.q,
+            result.m,
+            result.seed,
+        )
+
+    def test_different_seed_cannot_resume(self, cache):
+        crashed = _repgen(resume=True)
+        faults.set_fault_plan(FaultPlan.from_string("crash_run:gen:round1"))
+        with pytest.raises(FaultInjected):
+            crashed.generate(2, cache=cache)
+        faults.set_fault_plan(None)
+        other = RepGen(NAM, num_qubits=2, num_params=2, seed=99, resume=True)
+        result = other.generate(2, cache=cache)
+        assert "resilience.resumes" not in result.stats.perf

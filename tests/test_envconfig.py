@@ -150,6 +150,82 @@ class TestCacheDisable:
             assert envconfig.env_cache_enabled() is True
 
 
+class TestChunkTimeout:
+    def test_unset_means_the_default_deadline(self, monkeypatch):
+        monkeypatch.delenv(envconfig.CHUNK_TIMEOUT_ENV_VAR, raising=False)
+        assert envconfig.env_chunk_timeout() == envconfig.DEFAULT_CHUNK_TIMEOUT
+        assert envconfig.env_chunk_timeout_optional() is None
+
+    @pytest.mark.parametrize("raw,expected", [("5", 5.0), ("0.5", 0.5), ("120", 120.0)])
+    def test_valid_values(self, monkeypatch, raw, expected):
+        monkeypatch.setenv(envconfig.CHUNK_TIMEOUT_ENV_VAR, raw)
+        assert envconfig.env_chunk_timeout() == expected
+        assert envconfig.env_chunk_timeout_optional() == expected
+
+    @pytest.mark.parametrize("raw", ["0", "-3", "-0.1"])
+    def test_nonpositive_disables_the_deadline(self, monkeypatch, raw):
+        monkeypatch.setenv(envconfig.CHUNK_TIMEOUT_ENV_VAR, raw)
+        assert envconfig.env_chunk_timeout() is None
+        # The optional reader keeps "explicitly disabled" distinct from
+        # "unset" so config snapshots can round-trip the knob.
+        assert envconfig.env_chunk_timeout_optional() == 0.0
+
+    def test_invalid_values_warn_and_keep_the_default(self, monkeypatch):
+        monkeypatch.setenv(envconfig.CHUNK_TIMEOUT_ENV_VAR, "forever")
+        with pytest.warns(RuntimeWarning, match="non-numeric"):
+            assert envconfig.env_chunk_timeout() == envconfig.DEFAULT_CHUNK_TIMEOUT
+
+
+class TestChunkRetries:
+    def test_unset_means_the_default_budget(self, monkeypatch):
+        monkeypatch.delenv(envconfig.CHUNK_RETRIES_ENV_VAR, raising=False)
+        assert envconfig.env_chunk_retries() == envconfig.DEFAULT_CHUNK_RETRIES
+        assert envconfig.env_chunk_retries_optional() is None
+
+    @pytest.mark.parametrize("raw,expected", [("0", 0), ("1", 1), ("5", 5)])
+    def test_valid_values(self, monkeypatch, raw, expected):
+        monkeypatch.setenv(envconfig.CHUNK_RETRIES_ENV_VAR, raw)
+        assert envconfig.env_chunk_retries() == expected
+        assert envconfig.env_chunk_retries_optional() == expected
+
+    @pytest.mark.parametrize("raw,match", [("lots", "non-integer"), ("-2", "negative")])
+    def test_invalid_values_warn_and_keep_the_default(self, monkeypatch, raw, match):
+        monkeypatch.setenv(envconfig.CHUNK_RETRIES_ENV_VAR, raw)
+        with pytest.warns(RuntimeWarning, match=match):
+            assert envconfig.env_chunk_retries() == envconfig.DEFAULT_CHUNK_RETRIES
+
+
+class TestResume:
+    def test_unset_means_off(self, monkeypatch):
+        monkeypatch.delenv(envconfig.RESUME_ENV_VAR, raising=False)
+        assert envconfig.env_resume() is False
+        assert envconfig.env_resume_optional() is None
+
+    @pytest.mark.parametrize("raw", ["1", "true", "Yes", "ON"])
+    def test_truthy_values_enable(self, monkeypatch, raw):
+        monkeypatch.setenv(envconfig.RESUME_ENV_VAR, raw)
+        assert envconfig.env_resume() is True
+        assert envconfig.env_resume_optional() is True
+
+    @pytest.mark.parametrize("raw", ["0", "false", "off", ""])
+    def test_falsy_values_stay_off(self, monkeypatch, raw):
+        monkeypatch.setenv(envconfig.RESUME_ENV_VAR, raw)
+        assert envconfig.env_resume() is False
+        assert envconfig.env_resume_optional() is False
+
+
+class TestFaultsEnv:
+    def test_unset_means_no_plan(self, monkeypatch):
+        monkeypatch.delenv(envconfig.FAULTS_ENV_VAR, raising=False)
+        assert envconfig.env_faults() == ""
+
+    def test_value_is_stripped_not_parsed(self, monkeypatch):
+        # Parsing (and strict validation) happens in repro.faults; the env
+        # layer only hands the raw plan text through.
+        monkeypatch.setenv(envconfig.FAULTS_ENV_VAR, "  kill_worker:gen:round2  ")
+        assert envconfig.env_faults() == "kill_worker:gen:round2"
+
+
 class TestCacheDirAndScale:
     def test_cache_dir_default_and_env(self, monkeypatch, tmp_path):
         monkeypatch.delenv(CACHE_DIR_ENV_VAR, raising=False)

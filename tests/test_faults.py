@@ -1,0 +1,222 @@
+"""Unit tests for the deterministic fault-injection registry (repro.faults).
+
+The chaos CI leg is only as trustworthy as the plan grammar: a schedule
+that silently never fires would make every byte-identity-under-faults
+check vacuous.  So parsing is strict (malformed plans raise
+``FaultConfigError``), firing is deterministic (pinned here entry by
+entry), and the plan state machinery (nth counting, once-consumption,
+round targeting, reset) is covered directly.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro import faults
+from repro.envconfig import FAULTS_ENV_VAR
+from repro.errors import FaultConfigError, FaultInjected
+from repro.faults import FaultPlan, FaultSpec
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_plan():
+    """No test here may leak a plan into (or inherit one from) another."""
+    faults.set_fault_plan(None)
+    yield
+    faults.set_fault_plan(None)
+
+
+class TestSpecParsing:
+    def test_default_when_is_once(self):
+        spec = FaultSpec.parse("kill_worker:gen")
+        assert (spec.action, spec.site) == ("kill_worker", "gen")
+        assert (spec.when_kind, spec.when_value) == ("nth", 1)
+
+    def test_round_trigger(self):
+        spec = FaultSpec.parse("delay_chunk:verify:round3")
+        assert (spec.when_kind, spec.when_value) == ("round", 3)
+
+    def test_nth_trigger(self):
+        spec = FaultSpec.parse("fail_chunk:gen:4")
+        assert (spec.when_kind, spec.when_value) == ("nth", 4)
+
+    @pytest.mark.parametrize("when", ["*", "always"])
+    def test_always_trigger(self, when):
+        spec = FaultSpec.parse(f"torn_read:cache:{when}")
+        assert spec.when_kind == "always"
+
+    def test_case_and_whitespace_insensitive(self):
+        spec = FaultSpec.parse("  Kill_Worker : GEN : Round2  ".replace(" ", ""))
+        assert (spec.action, spec.site) == ("kill_worker", "gen")
+        spec = FaultSpec.parse(" corrupt_blob : cache ")
+        assert (spec.action, spec.site) == ("corrupt_blob", "cache")
+
+    @pytest.mark.parametrize(
+        "entry",
+        [
+            "kill_worker",  # no site
+            "kill_worker:gen:once:extra",  # too many fields
+            "nuke_it:gen",  # unknown action
+            "kill_worker:everywhere",  # unknown site
+            "corrupt_blob:gen",  # cache-only action at a pool site
+            "crash_run:verify",  # gen-only action at the verify site
+            "kill_worker:gen:roundx",  # malformed round
+            "kill_worker:gen:round0",  # rounds are 1-based
+            "kill_worker:gen:0",  # nth is 1-based
+            "kill_worker:gen:sometimes",  # unknown trigger
+            "kill_worker::once",  # empty field
+        ],
+    )
+    def test_malformed_entries_raise(self, entry):
+        with pytest.raises(FaultConfigError):
+            FaultSpec.parse(entry)
+
+    def test_spec_string_round_trips(self):
+        for entry in ("kill_worker:gen:1", "delay_chunk:verify:round2", "torn_read:cache:*"):
+            assert FaultSpec.parse(entry).spec_string() == entry
+
+
+class TestPlanFiring:
+    def test_empty_plan_is_falsy_and_never_fires(self):
+        plan = FaultPlan.from_string("  , ,  ")
+        assert not plan
+        assert plan.fire("gen", faults.CHUNK_ACTIONS) is None
+
+    def test_once_fires_exactly_once(self):
+        plan = FaultPlan.from_string("fail_chunk:gen")
+        assert plan.fire("gen", faults.CHUNK_ACTIONS) == "fail_chunk"
+        for _ in range(3):
+            assert plan.fire("gen", faults.CHUNK_ACTIONS) is None
+
+    def test_nth_counts_consultations(self):
+        plan = FaultPlan.from_string("fail_chunk:gen:3")
+        assert plan.fire("gen", faults.CHUNK_ACTIONS) is None
+        assert plan.fire("gen", faults.CHUNK_ACTIONS) is None
+        assert plan.fire("gen", faults.CHUNK_ACTIONS) == "fail_chunk"
+        assert plan.fire("gen", faults.CHUNK_ACTIONS) is None
+
+    def test_always_fires_every_time(self):
+        plan = FaultPlan.from_string("delay_chunk:gen:*")
+        for _ in range(3):
+            assert plan.fire("gen", faults.CHUNK_ACTIONS) == "delay_chunk"
+
+    def test_round_trigger_waits_for_its_round(self):
+        plan = FaultPlan.from_string("kill_worker:gen:round2")
+        assert plan.fire("gen", faults.CHUNK_ACTIONS, round_index=1) is None
+        assert plan.fire("gen", faults.CHUNK_ACTIONS, round_index=3) is None
+        assert plan.fire("gen", faults.CHUNK_ACTIONS, round_index=2) == "kill_worker"
+        # Consumed: a second dispatch in the same round stays clean.
+        assert plan.fire("gen", faults.CHUNK_ACTIONS, round_index=2) is None
+
+    def test_site_and_action_filtering(self):
+        plan = FaultPlan.from_string("kill_worker:verify,crash_run:gen")
+        # A gen chunk dispatch consults neither entry: wrong site for the
+        # first, crash_run is not in the offered action set for the second —
+        # and crucially its trigger is NOT burned by the consult.
+        assert plan.fire("gen", faults.CHUNK_ACTIONS) is None
+        assert plan.fire("gen", ("crash_run",)) == "crash_run"
+        assert plan.fire("verify", faults.CHUNK_ACTIONS) == "kill_worker"
+
+    def test_first_armed_entry_wins_and_others_keep_state(self):
+        plan = FaultPlan.from_string("fail_chunk:gen,delay_chunk:gen")
+        # Both are armed for their first consultation; only the first fires
+        # and the second keeps its (now spent) nth trigger: the consult
+        # counted for it too, so it never fires afterwards either.
+        assert plan.fire("gen", faults.CHUNK_ACTIONS) == "fail_chunk"
+        assert plan.fire("gen", faults.CHUNK_ACTIONS) is None
+
+    def test_reset_rearms(self):
+        plan = FaultPlan.from_string("fail_chunk:gen")
+        assert plan.fire("gen", faults.CHUNK_ACTIONS) == "fail_chunk"
+        plan.reset()
+        assert plan.fire("gen", faults.CHUNK_ACTIONS) == "fail_chunk"
+
+    def test_plan_spec_string(self):
+        text = "kill_worker:gen:round2,torn_read:cache:*"
+        assert FaultPlan.from_string(text).spec_string() == text
+
+
+class TestActivePlan:
+    def test_lazy_env_load(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV_VAR, "fail_chunk:gen:round1")
+        faults.reset_fault_plan()
+        plan = faults.active_plan()
+        assert plan is not None
+        assert plan.spec_string() == "fail_chunk:gen:round1"
+
+    def test_unset_env_means_no_plan(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV_VAR, raising=False)
+        faults.reset_fault_plan()
+        assert faults.active_plan() is None
+        assert faults.fire("gen", faults.CHUNK_ACTIONS) is None
+
+    def test_set_fault_plan_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV_VAR, "fail_chunk:gen")
+        faults.set_fault_plan(None)
+        assert faults.active_plan() is None
+        faults.set_fault_plan(FaultPlan.from_string("delay_chunk:verify"))
+        assert faults.fire("verify", faults.CHUNK_ACTIONS) == "delay_chunk"
+
+    def test_malformed_env_plan_raises_not_silently_ignores(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV_VAR, "bogus")
+        faults.reset_fault_plan()
+        with pytest.raises(FaultConfigError):
+            faults.active_plan()
+
+    def test_module_fire_consults_active_plan(self):
+        faults.set_fault_plan(FaultPlan.from_string("fail_chunk:gen:round2"))
+        assert faults.fire("gen", faults.CHUNK_ACTIONS, round_index=2) == "fail_chunk"
+
+
+class TestChunkTokens:
+    def test_kill_token(self):
+        assert faults.chunk_token("kill_worker", 2.0) == ("kill",)
+
+    def test_delay_token_overshoots_the_deadline(self):
+        kind, seconds = faults.chunk_token("delay_chunk", 2.0)
+        assert kind == "delay"
+        assert seconds > 2.0
+
+    def test_delay_token_without_deadline_is_a_token_pause(self):
+        kind, seconds = faults.chunk_token("delay_chunk", None)
+        assert kind == "delay"
+        assert 0 < seconds < 1.0
+
+    def test_fail_token(self):
+        assert faults.chunk_token("fail_chunk", None) == ("fail",)
+
+    def test_non_chunk_action_rejected(self):
+        with pytest.raises(FaultConfigError):
+            faults.chunk_token("crash_run", None)
+
+    def test_apply_none_is_noop(self):
+        faults.apply_chunk_fault(None)
+
+    def test_apply_fail_raises_fault_injected(self):
+        with pytest.raises(FaultInjected):
+            faults.apply_chunk_fault(("fail",))
+
+    def test_apply_delay_sleeps(self):
+        import time
+
+        start = time.perf_counter()
+        faults.apply_chunk_fault(("delay", 0.05))
+        assert time.perf_counter() - start >= 0.05
+
+    def test_apply_unknown_token_warns(self):
+        with pytest.warns(RuntimeWarning, match="unknown fault token"):
+            faults.apply_chunk_fault(("meteor",))
+
+    def test_known_action_tuples_cover_the_site_map(self):
+        # The public action tuples and the internal site map must not drift.
+        for action in faults.CHUNK_ACTIONS:
+            assert FaultSpec.parse(f"{action}:gen").site == "gen"
+        for action in faults.CACHE_ACTIONS:
+            assert FaultSpec.parse(f"{action}:cache").site == "cache"
+
+    def test_no_plan_fire_is_quiet(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert faults.fire("cache", faults.CACHE_ACTIONS) is None

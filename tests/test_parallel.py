@@ -12,6 +12,7 @@ import pickle
 
 import pytest
 
+from repro.errors import RetryExhausted
 from repro.generator import RepGen
 from repro.generator.parallel import (
     WORKERS_ENV_VAR,
@@ -64,13 +65,26 @@ class TestParallelEqualsSerial:
         assert result.stats.perf.get("repgen.parallel.states_seeded") == candidates
 
     def test_pool_failure_falls_back_to_serial(self, serial_result, monkeypatch):
-        def explode(self, jobs):
-            raise RuntimeError("injected worker failure")
+        # A PoolError is what escapes the pool when a chunk exhausted its
+        # retry budget (RetryExhausted is a PoolError); the round — not the
+        # run — then degrades to serial with identical output.
+        def explode(self, jobs, *, round_index=None):
+            raise RetryExhausted("injected worker failure")
 
         monkeypatch.setattr(ParallelFingerprintPool, "hash_keys", explode)
         with pytest.warns(RuntimeWarning, match="falling back to serial"):
             result = _generate(workers=2)
         assert result.ecc_set.to_json() == serial_result.ecc_set.to_json()
+
+    def test_non_pool_errors_surface(self, monkeypatch):
+        # Programming bugs must not silently degrade to serial: only
+        # PoolError (pool infrastructure) triggers the fallback.
+        def explode(self, jobs, *, round_index=None):
+            raise TypeError("a bug, not an infrastructure failure")
+
+        monkeypatch.setattr(ParallelFingerprintPool, "hash_keys", explode)
+        with pytest.raises(TypeError, match="a bug"):
+            _generate(workers=2)
 
     def test_pool_setup_failure_falls_back_to_serial(self, serial_result, monkeypatch):
         def explode(self, spec, workers):

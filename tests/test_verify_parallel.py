@@ -18,6 +18,7 @@ import pickle
 
 import pytest
 
+from repro.errors import RetryExhausted
 from repro.generator import RepGen
 from repro.ir.circuit import Circuit
 from repro.ir.gatesets import NAM, GateSet
@@ -98,8 +99,10 @@ class TestParallelVerificationEqualsSerial:
         assert second.stats.perf.get("verifier.workers.checks") == 2 * first_checks
 
     def test_round_failure_falls_back_to_serial(self, serial_result, monkeypatch):
-        def explode(self, pairs):
-            raise RuntimeError("injected verifier worker failure")
+        # Only PoolError (infrastructure failure surviving the pool's own
+        # retry loop) triggers the serial fallback; bugs surface instead.
+        def explode(self, pairs, *, round_index=None):
+            raise RetryExhausted("injected verifier worker failure")
 
         monkeypatch.setattr(ParallelVerifierPool, "verify_pairs", explode)
         with pytest.warns(RuntimeWarning, match="falling back to serial"):
