@@ -22,7 +22,6 @@ Every run emits a machine-readable JSON file (default
 from __future__ import annotations
 
 import json
-import os
 import time
 from pathlib import Path
 
@@ -30,6 +29,7 @@ import numpy as np
 import pytest
 
 from repro.benchmarks_suite import benchmark_circuit
+from repro.envconfig import env_microbench_check_only, env_microbench_json
 from repro.generator import ECCCache, RepGen, prune_common_subcircuits, simplify_ecc_set
 from repro.ir.circuit import Circuit, Instruction
 from repro.ir.gatesets import NAM
@@ -50,17 +50,14 @@ REQUIRED_SEARCH_SPEEDUP = 3.0
 REQUIRED_WARM_CACHE_SECONDS = 0.5
 PARALLEL_WORKERS = 4
 
-CHECK_ONLY = os.environ.get("REPRO_MICROBENCH", "").lower() in {
-    "check",
-    "check-only",
-}
+CHECK_ONLY = env_microbench_check_only()
 
 _RESULTS: dict = {"seed_baselines": dict(SEED_BASELINES), "check_only": CHECK_ONLY}
 
 
 def _json_path() -> Path:
     default = Path(__file__).resolve().parent.parent / ".benchmarks" / "micro_hotpaths.json"
-    return Path(os.environ.get("REPRO_MICROBENCH_JSON", str(default)))
+    return Path(env_microbench_json(default=str(default)))
 
 
 @pytest.fixture(scope="module", autouse=True)

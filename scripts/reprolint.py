@@ -1,0 +1,21 @@
+#!/usr/bin/env python
+"""Repo-root launcher for the determinism-invariant linter.
+
+Equivalent to ``PYTHONPATH=src python -m repro.analysis`` but runnable
+without setting ``PYTHONPATH`` — handy locally and in CI one-liners::
+
+    python scripts/reprolint.py src scripts benchmarks
+    python scripts/reprolint.py --list-rules
+    python scripts/reprolint.py --write-baseline
+"""
+
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.analysis.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,149 @@
+"""Checked-in finding baseline: grandfathered debt warns, new debt fails.
+
+Adopting a linter on a living tree poses a bootstrap problem: the first
+run surfaces existing findings that are not worth fixing *right now*, but
+failing CI on them would block every unrelated PR.  The baseline file
+solves it the way ``ruff --add-noqa``'s baseline or ESLint's
+``--max-warnings`` snapshots do, with one twist — entries are keyed by
+**content fingerprint**, not line number:
+
+    fingerprint = sha256(rule id | rel path | stripped source line | k)
+
+where ``k`` disambiguates identical lines within one file (k-th occurrence,
+in line order).  Editing *other* parts of a file therefore never churns
+the baseline, while editing the offending line itself invalidates its
+entry — the finding resurfaces and must be re-fixed, re-suppressed or
+deliberately re-baselined.
+
+The file is JSON (sorted, newline-terminated: diff-friendly), lives at the
+repo root as ``.reprolint-baseline.json``, and is the complete inventory
+of known debt.  ``python -m repro.analysis --write-baseline`` regenerates
+it; stale entries (debt that got fixed) are reported so the inventory
+never overstates reality.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.core import Finding
+
+__all__ = [
+    "BASELINE_SCHEMA_VERSION",
+    "DEFAULT_BASELINE_NAME",
+    "fingerprint_findings",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+]
+
+BASELINE_SCHEMA_VERSION = 1
+DEFAULT_BASELINE_NAME = ".reprolint-baseline.json"
+
+
+def _line_text(root: Path, finding: Finding, cache: Dict[str, List[str]]) -> str:
+    if finding.path not in cache:
+        try:
+            cache[finding.path] = (root / finding.path).read_text(
+                encoding="utf-8"
+            ).splitlines()
+        except OSError:
+            cache[finding.path] = []
+    lines = cache[finding.path]
+    if 1 <= finding.line <= len(lines):
+        return lines[finding.line - 1].strip()
+    return ""
+
+
+def fingerprint_findings(
+    findings: Sequence[Finding], root: Path
+) -> List[Tuple[Finding, str]]:
+    """Pair every finding with its content fingerprint (stable order)."""
+    cache: Dict[str, List[str]] = {}
+    occurrence: Dict[Tuple[str, str, str], int] = {}
+    pairs: List[Tuple[Finding, str]] = []
+    for finding in sorted(findings):
+        text = _line_text(root, finding, cache)
+        key = (finding.rule, finding.path, text)
+        k = occurrence.get(key, 0)
+        occurrence[key] = k + 1
+        digest = hashlib.sha256(
+            f"{finding.rule}|{finding.path}|{text}|{k}".encode("utf-8")
+        ).hexdigest()
+        pairs.append((finding, digest))
+    return pairs
+
+
+def load_baseline(path: Path) -> Dict[str, dict]:
+    """fingerprint -> entry; an absent file is an empty baseline."""
+    if not path.exists():
+        return {}
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("version") != BASELINE_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {data.get('version')!r} in {path}"
+        )
+    return {entry["fingerprint"]: entry for entry in data.get("findings", [])}
+
+
+def write_baseline(path: Path, findings: Sequence[Finding], root: Path) -> int:
+    """Snapshot every finding into the baseline file; returns entry count."""
+    entries = [
+        {
+            "fingerprint": digest,
+            "rule": finding.rule,
+            "name": finding.name,
+            "path": finding.path,
+            # Informational only — matching is by fingerprint, so baseline
+            # entries survive unrelated edits that shift line numbers.
+            "line": finding.line,
+            "message": finding.message,
+        }
+        for finding, digest in fingerprint_findings(findings, root)
+    ]
+    entries.sort(key=lambda entry: (entry["path"], entry["rule"], entry["line"]))
+    payload = {
+        "version": BASELINE_SCHEMA_VERSION,
+        "tool": "reprolint",
+        "findings": entries,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(entries)
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Dict[str, dict], root: Path
+) -> Tuple[List[Finding], List[dict]]:
+    """Split findings into (current, stale-baseline-entries).
+
+    Matched findings come back with ``baselined=True`` (reported as
+    warnings, never failing the run); unmatched baseline entries are the
+    stale list — debt that no longer exists and should be pruned with
+    ``--write-baseline``.
+    """
+    matched: set = set()
+    result: List[Finding] = []
+    for finding, digest in fingerprint_findings(findings, root):
+        if digest in baseline:
+            matched.add(digest)
+            result.append(
+                Finding(
+                    path=finding.path,
+                    line=finding.line,
+                    col=finding.col,
+                    rule=finding.rule,
+                    name=finding.name,
+                    severity=finding.severity,
+                    message=finding.message,
+                    baselined=True,
+                )
+            )
+        else:
+            result.append(finding)
+    stale = [
+        entry for digest, entry in sorted(baseline.items()) if digest not in matched
+    ]
+    return result, stale

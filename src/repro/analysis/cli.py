@@ -1,0 +1,173 @@
+"""Command-line entry point: ``python -m repro.analysis`` / ``reprolint``.
+
+Exit codes (what the CI lint leg keys on):
+
+* ``0`` — no *new* error findings: the tree is clean, or every error
+  finding is grandfathered in the baseline / suppressed inline;
+* ``1`` — at least one new error finding (new warnings never fail a run;
+  that is the per-rule severity contract);
+* ``2`` — usage or environment problem (unknown rule, unreadable
+  baseline, no files found).
+
+The GitHub step summary is written via ``--summary "$GITHUB_STEP_SUMMARY"``
+rather than by reading the variable here — env access outside
+:mod:`repro.envconfig` is exactly what rule R002 forbids, and the linter
+holds itself to its own rules (it is part of the scanned tree).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis import baseline as baseline_mod
+from repro.analysis import reporters
+from repro.analysis.core import run_analysis
+
+__all__ = ["main", "build_parser"]
+
+DEFAULT_PATHS = ("src", "scripts", "benchmarks")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description=(
+            "Determinism-invariant linter for this reproduction: statically "
+            "enforces the guarantees the test suite can only sample."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help=f"files or directories to scan (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path.cwd(),
+        help="repo root findings are reported relative to (default: cwd)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="RULE",
+        help="run only these rules (id or name; repeatable / comma-separated)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format on stdout (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=(
+            "baseline file (default: <root>/"
+            f"{baseline_mod.DEFAULT_BASELINE_NAME})"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file: every finding counts as new",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="snapshot the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--summary",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="append a markdown findings table to FILE (CI step summary)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list registered rules and exit"
+    )
+    parser.add_argument(
+        "--hide-baselined",
+        action="store_true",
+        help="omit baselined findings from the text report",
+    )
+    return parser
+
+
+def _selected(select: Optional[Sequence[str]]) -> Optional[List[str]]:
+    if not select:
+        return None
+    tokens: List[str] = []
+    for chunk in select:
+        tokens.extend(token.strip() for token in chunk.split(",") if token.strip())
+    return tokens or None
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        sys.stdout.write(reporters.render_rule_list())
+        return 0
+    root = args.root.resolve()
+    try:
+        result = run_analysis(
+            [Path(p) for p in args.paths], root, select=_selected(args.select)
+        )
+    except ValueError as error:
+        parser.error(str(error))  # exits 2
+    if result.files_scanned == 0:
+        sys.stderr.write("reprolint: no python files found under the given paths\n")
+        return 2
+
+    baseline_path = args.baseline or (root / baseline_mod.DEFAULT_BASELINE_NAME)
+    if args.write_baseline:
+        count = baseline_mod.write_baseline(baseline_path, result.findings, root)
+        sys.stdout.write(
+            f"reprolint: wrote {count} finding(s) to {baseline_path}\n"
+        )
+        return 0
+
+    stale: List[dict] = []
+    if not args.no_baseline:
+        try:
+            known = baseline_mod.load_baseline(baseline_path)
+        except (ValueError, OSError) as error:
+            sys.stderr.write(f"reprolint: unreadable baseline: {error}\n")
+            return 2
+        result.findings, stale = baseline_mod.apply_baseline(
+            result.findings, known, root
+        )
+
+    if args.format == "json":
+        sys.stdout.write(reporters.render_json(result, stale_baseline=stale))
+    else:
+        sys.stdout.write(
+            reporters.render_text(
+                result,
+                stale_baseline=stale,
+                show_baselined=not args.hide_baselined,
+            )
+        )
+    if args.summary is not None:
+        args.summary.parent.mkdir(parents=True, exist_ok=True)
+        with args.summary.open("a", encoding="utf-8") as handle:
+            handle.write(reporters.render_markdown(result, stale_baseline=stale))
+
+    new_errors = [
+        finding
+        for finding in result.findings
+        if not finding.baselined and finding.severity == "error"
+    ]
+    return 1 if new_errors else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,151 @@
+"""Finding reporters: terminal text, machine-readable JSON, CI markdown.
+
+Three consumers, three formats:
+
+* **text** — what a developer reads locally: one ``path:line:col`` line
+  per finding (clickable in every editor), then a one-line summary;
+* **json** — the stable schema other tooling consumes (schema-tested in
+  ``tests/test_analysis.py``); findings, rule metadata, summary counts;
+* **markdown** — the findings table the CI lint leg appends to
+  ``GITHUB_STEP_SUMMARY``, so a failing push shows *what* and *why*
+  without digging through logs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional, Sequence
+
+from repro.analysis.core import AnalysisResult, Finding, Rule, registered_rules
+
+__all__ = [
+    "JSON_SCHEMA_VERSION",
+    "render_text",
+    "render_json",
+    "render_markdown",
+]
+
+JSON_SCHEMA_VERSION = 1
+
+
+def _new_findings(findings: Sequence[Finding]) -> List[Finding]:
+    return [finding for finding in findings if not finding.baselined]
+
+
+def render_text(
+    result: AnalysisResult,
+    *,
+    stale_baseline: Sequence[dict] = (),
+    show_baselined: bool = True,
+) -> str:
+    lines: List[str] = []
+    for finding in result.findings:
+        if finding.baselined and not show_baselined:
+            continue
+        status = "baselined" if finding.baselined else finding.severity
+        lines.append(
+            f"{finding.location()}: {finding.rule} {status} "
+            f"[{finding.name}] {finding.message}"
+        )
+    for entry in stale_baseline:
+        lines.append(
+            f"{entry['path']}: {entry['rule']} stale-baseline "
+            f"[{entry['name']}] baselined finding no longer present "
+            "(prune with --write-baseline)"
+        )
+    new = _new_findings(result.findings)
+    errors = [finding for finding in new if finding.severity == "error"]
+    warnings = [finding for finding in new if finding.severity == "warning"]
+    baselined = len(result.findings) - len(new)
+    lines.append(
+        f"reprolint: {result.files_scanned} files scanned — "
+        f"{len(errors)} new error(s), {len(warnings)} new warning(s), "
+        f"{baselined} baselined, {result.suppressed} suppressed, "
+        f"{len(stale_baseline)} stale baseline entr(ies)"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def render_json(
+    result: AnalysisResult, *, stale_baseline: Sequence[dict] = ()
+) -> str:
+    new = _new_findings(result.findings)
+    payload = {
+        "tool": "reprolint",
+        "version": JSON_SCHEMA_VERSION,
+        "rules": {
+            rule.id: {
+                "name": rule.name,
+                "severity": rule.severity,
+                "description": rule.description,
+            }
+            for rule in registered_rules()
+        },
+        "findings": [finding.as_dict() for finding in result.findings],
+        "stale_baseline": list(stale_baseline),
+        "summary": {
+            "files_scanned": result.files_scanned,
+            "new_errors": sum(1 for f in new if f.severity == "error"),
+            "new_warnings": sum(1 for f in new if f.severity == "warning"),
+            "baselined": len(result.findings) - len(new),
+            "suppressed": result.suppressed,
+            "stale_baseline": len(stale_baseline),
+        },
+    }
+    return json.dumps(payload, indent=2) + "\n"
+
+
+def _escape_cell(text: str) -> str:
+    return text.replace("|", "\\|").replace("\n", " ")
+
+
+def render_markdown(
+    result: AnalysisResult,
+    *,
+    stale_baseline: Sequence[dict] = (),
+    title: str = "reprolint",
+) -> str:
+    """A findings table for ``GITHUB_STEP_SUMMARY`` (new findings first)."""
+    new = _new_findings(result.findings)
+    errors = sum(1 for f in new if f.severity == "error")
+    warnings = sum(1 for f in new if f.severity == "warning")
+    baselined = len(result.findings) - len(new)
+    lines = [
+        f"## {title}",
+        "",
+        f"{result.files_scanned} files scanned — "
+        f"**{errors} new error(s)**, {warnings} new warning(s), "
+        f"{baselined} baselined, {result.suppressed} suppressed, "
+        f"{len(stale_baseline)} stale baseline entr(ies).",
+        "",
+    ]
+    if result.findings:
+        lines += [
+            "| Location | Rule | Status | Message |",
+            "|---|---|---|---|",
+        ]
+        ordered = sorted(result.findings, key=lambda f: (f.baselined, f.path, f.line))
+        for finding in ordered:
+            status = "baselined" if finding.baselined else f"**{finding.severity}**"
+            lines.append(
+                f"| `{finding.location()}` | {finding.rule} ({finding.name}) "
+                f"| {status} | {_escape_cell(finding.message)} |"
+            )
+    else:
+        lines.append("No findings. :white_check_mark:")
+    if stale_baseline:
+        lines += ["", "Stale baseline entries (prune with `--write-baseline`):", ""]
+        for entry in stale_baseline:
+            lines.append(f"- `{entry['path']}` {entry['rule']} ({entry['name']})")
+    return "\n".join(lines) + "\n"
+
+
+def render_rule_list(rules: Optional[Sequence[Rule]] = None) -> str:
+    """``--list-rules`` output: id, name, severity, description."""
+    rows = list(rules) if rules is not None else registered_rules()
+    width = max((len(rule.name) for rule in rows), default=0)
+    lines = [
+        f"{rule.id}  {rule.name.ljust(width)}  {rule.severity:7}  {rule.description}"
+        for rule in rows
+    ]
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,147 @@
+"""R006 ``nondeterministic-reduction`` — bit-identical modules earn it.
+
+``SimulatorBackend.batch_bit_identical = True`` is a *declared theorem*:
+the backend promises that its batched kernels produce bit-for-bit the
+floats of the per-state path, which is what lets the numpy backend share
+ECC cache blobs between batched and per-state runs and lets fingerprint
+hash keys ignore the batching knob entirely.  The proof is delicate —
+PR 5's batched matmul is bit-identical only because each per-state slice
+has the *exact shapes* of the per-state path, and ``inner_product_batch``
+deliberately stays a per-row ``np.vdot`` loop because a BLAS gemv would
+reorder the accumulation (floating-point addition is not associative;
+BLAS picks its own summation order per shape, thread count and CPU).
+
+Any *new* reduction-flavored numpy call in such a module therefore needs
+the same scrutiny, mechanically: this rule flags, in every module that
+declares ``batch_bit_identical = True`` (plus the kernel modules those
+backends delegate to), calls to ``np.sum`` / ``np.dot`` / ``np.matmul`` /
+``np.einsum`` / ``np.tensordot`` / ``np.inner`` / ``np.prod`` /
+``np.trace``, ``.sum()``/``.dot()``/``.prod()``/``.trace()`` method
+calls, and the ``@`` matmul operator.  Sites whose bit-identity has been
+argued (and property-tested) carry an inline
+``# repro: allow(nondeterministic-reduction): <why it is exact>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleInfo, ProjectIndex, Rule, register
+
+__all__ = ["NondeterministicReductionRule"]
+
+_NP_REDUCTIONS = {
+    "sum",
+    "dot",
+    "matmul",
+    "einsum",
+    "tensordot",
+    "inner",
+    "prod",
+    "trace",
+}
+_METHOD_REDUCTIONS = {"sum", "dot", "prod", "trace"}
+_DECLARATION = "batch_bit_identical"
+
+
+def _declares_bit_identical(module: ModuleInfo) -> bool:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for item in node.body:
+            targets = []
+            if isinstance(item, ast.Assign):
+                targets = [
+                    t.id for t in item.targets if isinstance(t, ast.Name)
+                ]
+                value = item.value
+            elif isinstance(item, ast.AnnAssign) and item.value is not None:
+                targets = (
+                    [item.target.id] if isinstance(item.target, ast.Name) else []
+                )
+                value = item.value
+            else:
+                continue
+            if (
+                _DECLARATION in targets
+                and isinstance(value, ast.Constant)
+                and value.value is True
+            ):
+                return True
+    return False
+
+
+@register
+class NondeterministicReductionRule(Rule):
+    id = "R006"
+    name = "nondeterministic-reduction"
+    severity = "error"
+    description = (
+        "BLAS-flavored reduction added to a module whose backend declares "
+        "batch_bit_identical (accumulation order must be proven exact)"
+    )
+
+    #: Kernel modules the bit-identical backends delegate to: the numpy
+    #: backend's apply_gate_batch is implemented in semantics.simulator.
+    EXTRA_MODULES = frozenset({"repro.semantics.simulator"})
+
+    def check_module(
+        self, module: ModuleInfo, project: ProjectIndex
+    ) -> Iterator[Finding]:
+        if not (
+            module.logical in self.EXTRA_MODULES or _declares_bit_identical(module)
+        ):
+            return
+        numpy_aliases = {
+            alias
+            for alias, target in module.import_aliases.items()
+            if target == "numpy"
+        }
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.MatMult):
+                yield self.finding(
+                    module,
+                    node,
+                    "matmul (@) in a batch_bit_identical module: prove the "
+                    "per-state accumulation order is unchanged (exact "
+                    "per-slice shapes) or declare batch_bit_identical=False",
+                )
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                attr = node.func.attr
+                base = node.func.value
+                if (
+                    isinstance(base, ast.Name)
+                    and base.id in numpy_aliases
+                    and attr in _NP_REDUCTIONS
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"np.{attr}() in a batch_bit_identical module: BLAS "
+                        "reductions reorder floating-point accumulation; "
+                        "prove exactness or annotate",
+                    )
+                elif attr in _METHOD_REDUCTIONS and not isinstance(
+                    base, ast.Name
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f".{attr}() reduction in a batch_bit_identical "
+                        "module: prove the accumulation order or annotate",
+                    )
+                elif (
+                    attr in _METHOD_REDUCTIONS
+                    and isinstance(base, ast.Name)
+                    and base.id not in numpy_aliases
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{base.id}.{attr}() reduction in a "
+                        "batch_bit_identical module: prove the accumulation "
+                        "order or annotate",
+                    )

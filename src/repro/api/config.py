@@ -144,7 +144,7 @@ class RunConfig:
     # -- construction paths ---------------------------------------------------
 
     @classmethod
-    def from_env(cls, **overrides) -> "RunConfig":
+    def from_env(cls, **overrides: Any) -> "RunConfig":
         """Snapshot every ``REPRO_*`` knob into a concrete config.
 
         This is the single environment-reading path of the public API:
@@ -188,7 +188,7 @@ class RunConfig:
 
     @classmethod
     def from_sources(
-        cls, *, file: Union[str, Path, None] = None, **overrides
+        cls, *, file: Union[str, Path, None] = None, **overrides: Any
     ) -> "RunConfig":
         """Layer the three sources: environment < file < keyword overrides."""
         config = cls.from_env()
@@ -198,7 +198,7 @@ class RunConfig:
 
     # -- derivation -----------------------------------------------------------
 
-    def with_overrides(self, **overrides) -> "RunConfig":
+    def with_overrides(self, **overrides: Any) -> "RunConfig":
         """A copy with fields replaced; nested fields may be given flat.
 
         ``generation`` / ``search`` accept either a config instance or a

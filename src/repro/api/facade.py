@@ -329,7 +329,7 @@ class Superoptimizer:
     the environment knobs are snapshotted via :meth:`RunConfig.from_env`.
     """
 
-    def __init__(self, config: Optional[RunConfig] = None, **overrides) -> None:
+    def __init__(self, config: Optional[RunConfig] = None, **overrides: Any) -> None:
         if config is None:
             config = RunConfig.from_env()
         elif not isinstance(config, RunConfig):

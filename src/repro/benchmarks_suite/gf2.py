@@ -55,7 +55,9 @@ def gf2_mult(num_bits: int) -> Circuit:
             else:
                 terms.extend(reduced_mod(shifted, n, reduced))
         # XOR semantics: a bit appearing an even number of times cancels.
-        folded = [bit for bit in set(terms) if terms.count(bit) % 2 == 1]
+        # dict.fromkeys dedups in first-seen order (set iteration order is
+        # process-dependent and would leak into the emitted gate sequence).
+        folded = [bit for bit in dict.fromkeys(terms) if terms.count(bit) % 2 == 1]
         reduced[degree] = sorted(folded)
 
     for i in range(n):
@@ -74,4 +76,4 @@ def reduced_mod(degree: int, n: int, reduced: Dict[int, List[int]]) -> List[int]
     for lower in [0] + _REDUCTION_TERMS[n]:
         shifted = degree - n + lower
         terms.extend(reduced_mod(shifted, n, reduced) if shifted >= n else reduced[shifted])
-    return [bit for bit in set(terms) if terms.count(bit) % 2 == 1]
+    return [bit for bit in dict.fromkeys(terms) if terms.count(bit) % 2 == 1]

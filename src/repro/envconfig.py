@@ -29,7 +29,12 @@ the semantics of a knob cannot drift between call sites:
 * ``REPRO_FAULTS``        — deterministic fault-injection plan for
   resilience testing (parsed by :mod:`repro.faults`; malformed plans
   raise, they never fail silent);
-* ``REPRO_SCALE``         — experiment scale preset name.
+* ``REPRO_SCALE``         — experiment scale preset name;
+* ``REPRO_MICROBENCH``    — micro-benchmark harness mode: ``check`` /
+  ``check-only`` run the hot-path benchmarks as plain assertions without
+  pytest-benchmark timing (any other value, or unset, means full timing);
+* ``REPRO_MICROBENCH_JSON`` — where the micro-benchmark harness writes its
+  machine-readable results (empty/unset means the harness default).
 
 The public configuration face of these knobs is
 :meth:`repro.api.RunConfig.from_env`, which snapshots all of them at once;
@@ -54,6 +59,8 @@ CHUNK_RETRIES_ENV_VAR = "REPRO_CHUNK_RETRIES"
 RESUME_ENV_VAR = "REPRO_RESUME"
 FAULTS_ENV_VAR = "REPRO_FAULTS"
 SCALE_ENV_VAR = "REPRO_SCALE"
+MICROBENCH_ENV_VAR = "REPRO_MICROBENCH"
+MICROBENCH_JSON_ENV_VAR = "REPRO_MICROBENCH_JSON"
 
 DEFAULT_CACHE_DIR = ".repro_cache"
 
@@ -284,3 +291,29 @@ def env_faults(*, default: str = "") -> str:
 def env_scale(*, default: str = "quick") -> str:
     """Experiment scale preset name from ``REPRO_SCALE``."""
     return os.environ.get(SCALE_ENV_VAR, default).strip().lower() or default
+
+
+#: Spellings of ``REPRO_MICROBENCH`` that select check-only mode.
+_MICROBENCH_CHECK_VALUES = frozenset({"check", "check-only"})
+
+
+def env_microbench_check_only() -> bool:
+    """Whether ``REPRO_MICROBENCH`` asks for check-only micro-benchmarks.
+
+    ``check`` / ``check-only`` (case-insensitive) run the hot-path
+    benchmarks as plain correctness assertions — what the CI tier-1 legs
+    use, where wall-clock timing would only add noise.  Anything else
+    (including unset) keeps full pytest-benchmark timing.
+    """
+    raw = os.environ.get(MICROBENCH_ENV_VAR, "")
+    return raw.strip().lower() in _MICROBENCH_CHECK_VALUES
+
+
+def env_microbench_json(*, default: str = "") -> str:
+    """Micro-benchmark JSON output path from ``REPRO_MICROBENCH_JSON``.
+
+    Returns the default when the knob is unset *or* empty, so callers can
+    pass their harness-local default path in one expression.
+    """
+    raw = os.environ.get(MICROBENCH_JSON_ENV_VAR, "").strip()
+    return raw or default

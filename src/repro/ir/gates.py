@@ -400,7 +400,10 @@ GATE_REGISTRY: Dict[str, Gate] = {}
 
 
 def _register(gate: Gate) -> Gate:
-    GATE_REGISTRY[gate.name] = gate
+    # Populated only at import time (every _register call below is a
+    # module-level definition), so the registry is complete and identical
+    # in every process before any pool forks.
+    GATE_REGISTRY[gate.name] = gate  # repro: allow(mutable-module-global)
     return gate
 
 

@@ -223,8 +223,11 @@ def register_backend(
     key = name.lower()
     if key in _FACTORIES and not replace:
         raise ValueError(f"simulator backend {name!r} is already registered")
-    _FACTORIES[key] = factory
-    _INSTANCES.pop(key, None)
+    # Registration happens at import time (this module registers numpy/numba
+    # below; tests registering fakes run parent-side before any pool exists),
+    # so the registry is identical in every process at fork.
+    _FACTORIES[key] = factory  # repro: allow(mutable-module-global)
+    _INSTANCES.pop(key, None)  # repro: allow(mutable-module-global)
 
 
 def get_backend(name: str | SimulatorBackend = DEFAULT_BACKEND) -> SimulatorBackend:
@@ -239,7 +242,10 @@ def get_backend(name: str | SimulatorBackend = DEFAULT_BACKEND) -> SimulatorBack
         known = ", ".join(sorted(_FACTORIES))
         raise KeyError(f"unknown simulator backend {name!r} (registered: {known})")
     backend = factory()
-    _INSTANCES[key] = backend
+    # Memoizing an instance is safe across forks: backends are stateless by
+    # contract (same inputs -> bit-identical outputs in every process), so a
+    # worker memoizing its own copy cannot diverge from the parent's.
+    _INSTANCES[key] = backend  # repro: allow(mutable-module-global)
     return backend
 
 

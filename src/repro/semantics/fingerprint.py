@@ -128,6 +128,11 @@ class FingerprintContext:
 
     # -- worker initialization / pickling ------------------------------------
 
+    # The ``perf`` recorder is deliberately per-process: workers record into
+    # their own recorder and the counters merge parent-side; no fingerprint
+    # value depends on it, so omitting it from the spec cannot break
+    # byte-identity.
+    # repro: allow(spec-pickle-completeness): perf recorders are per-process
     def spec(self) -> dict:
         """The picklable construction recipe for an identical context.
 

@@ -78,7 +78,9 @@ def circuit_unitary(
         tensor = np.moveaxis(tensor, list(qubits), range(len(qubits)))
         moved_shape = tensor.shape
         tensor = tensor.reshape(1 << len(qubits), -1)
-        tensor = gate_matrix @ tensor
+        # Exact: one (2^k, 2^k) @ (2^k, rest) product — this IS the
+        # reference accumulation order every other path must reproduce.
+        tensor = gate_matrix @ tensor  # repro: allow(nondeterministic-reduction)
         tensor = tensor.reshape(moved_shape)
         tensor = np.moveaxis(tensor, range(len(qubits)), list(qubits))
         unitary = tensor.reshape(dim, dim)
@@ -116,7 +118,9 @@ def _apply_gate_to_state(
     tensor = np.moveaxis(tensor, axes, range(len(axes)))
     front_shape = tensor.shape
     tensor = tensor.reshape(1 << len(axes), -1)
-    tensor = matrix @ tensor
+    # Exact: the per-state reference kernel — same shapes as the unitary
+    # path above, and the yardstick the batched kernel is tested against.
+    tensor = matrix @ tensor  # repro: allow(nondeterministic-reduction)
     tensor = tensor.reshape(front_shape)
     tensor = np.moveaxis(tensor, range(len(axes)), axes)
     return tensor.reshape(-1)
@@ -144,7 +148,11 @@ def _apply_gate_to_state_batch(
     tensor = np.moveaxis(tensor, axes, range(1, len(axes) + 1))
     front_shape = tensor.shape
     tensor = tensor.reshape(num_states, 1 << len(axes), -1)
-    tensor = np.matmul(matrix, tensor)
+    # Exact: the batch is a leading broadcast axis, so numpy performs one
+    # (2^k, 2^k) @ (2^k, rest) product per state — the exact shapes (hence
+    # the exact float ops) of _apply_gate_to_state; asserted bit-identical
+    # by tests/test_batched.py.
+    tensor = np.matmul(matrix, tensor)  # repro: allow(nondeterministic-reduction)
     tensor = tensor.reshape(front_shape)
     tensor = np.moveaxis(tensor, range(1, len(axes) + 1), axes)
     return tensor.reshape(num_states, -1)

@@ -45,12 +45,19 @@ generator folds into ``GeneratorStats.perf`` and the facade surfaces in
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.pool
 import time
-from typing import Callable, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import faults
 from repro.envconfig import env_chunk_retries, env_chunk_timeout
-from repro.errors import ChunkTimeout, PoolError, RetryExhausted, WorkerCrash
+from repro.errors import (
+    ChunkTimeout,
+    FaultInjected,
+    PoolError,
+    RetryExhausted,
+    WorkerCrash,
+)
 from repro.perf import NULL_RECORDER, PerfRecorder
 
 __all__ = [
@@ -68,6 +75,23 @@ BACKOFF_BASE_SECONDS = 0.1
 BACKOFF_CAP_SECONDS = 2.0
 
 _PENDING = object()
+
+#: Worker-side exception classes the retry loop is allowed to absorb: the
+#: transport/infrastructure failures re-dispatch is designed for (dead
+#: pipes, broken pools, unpicklable results) plus :class:`FaultInjected`,
+#: whose whole point is exercising that loop.  Anything else — a
+#: ``TypeError`` from a buggy chunk function, an assertion in library code —
+#: is a programming error: retrying it re-runs the same bug ``retries``
+#: times and then mislabels it "pool gave up", so it propagates to the
+#: caller with its original type and traceback instead.
+_RETRYABLE_CHUNK_ERRORS: Tuple[type, ...] = (
+    FaultInjected,
+    PoolError,
+    OSError,
+    EOFError,
+    multiprocessing.ProcessError,
+    multiprocessing.pool.MaybeEncodingError,
+)
 
 
 def resolve_chunk_timeout(chunk_timeout: Optional[float] = None) -> Optional[float]:
@@ -128,7 +152,7 @@ class ResilientPool:
         self.perf = perf if perf is not None else NULL_RECORDER
         self._initializer = initializer
         self._initargs = initargs
-        self._pool = None
+        self._pool: Optional[multiprocessing.pool.Pool] = None
         try:
             self._spawn()
         except Exception as error:
@@ -164,7 +188,7 @@ class ResilientPool:
     def __enter__(self) -> "ResilientPool":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: Any) -> None:
         self.close()
 
     # -- dispatch ------------------------------------------------------------
@@ -175,14 +199,18 @@ class ResilientPool:
         """Results for every chunk, in chunk order, surviving worker death.
 
         Raises :class:`RetryExhausted` when some chunk still has no result
-        after every configured retry — the only exception this method lets
-        escape, so callers degrade on ``except PoolError`` alone.
+        after every configured retry, so callers degrade that round on
+        ``except PoolError`` alone.  Worker exceptions *outside*
+        ``_RETRYABLE_CHUNK_ERRORS`` (a ``TypeError`` from a buggy chunk
+        function, say) are programming errors, not infrastructure faults:
+        they propagate immediately with their original type rather than
+        burning the retry budget and degrading the round.
         """
         if not chunks:
             return []
         if self._pool is None:
             raise PoolError("pool is closed")
-        results = [_PENDING] * len(chunks)
+        results: List[Any] = [_PENDING] * len(chunks)
         pending = list(range(len(chunks)))
         last_error: Optional[PoolError] = None
         for attempt in range(self.chunk_retries + 1):
@@ -194,7 +222,7 @@ class ResilientPool:
                         BACKOFF_CAP_SECONDS,
                     )
                 )
-            tokens = {}
+            tokens: Dict[int, Any] = {}
             if attempt == 0:
                 action = faults.fire(
                     self.site, faults.CHUNK_ACTIONS, round_index=round_index
@@ -204,19 +232,9 @@ class ResilientPool:
                         action, self.chunk_timeout
                     )
                     self.perf.count("resilience.faults_injected")
-            try:
-                pending, timed_out, last_error = self._run_attempt(
-                    chunks, pending, tokens, results
-                )
-            except PoolError:
-                raise
-            except Exception as error:
-                # Dispatch-side failure (pool already broken, payload
-                # unpicklable at submission, ...): every pending chunk
-                # counts as failed for this attempt.
-                self.perf.count("resilience.dispatch_failures")
-                timed_out = True  # assume the pool is unusable
-                last_error = WorkerCrash(f"chunk dispatch failed: {error}")
+            pending, timed_out, last_error = self._run_attempt(
+                chunks, pending, tokens, results
+            )
             if not pending:
                 return results
             if attempt < self.chunk_retries and timed_out:
@@ -229,20 +247,40 @@ class ResilientPool:
             f"{self.chunk_retries} retries (last error: {last_error})"
         )
 
-    def _run_attempt(self, chunks, pending, tokens, results):
+    def _run_attempt(
+        self,
+        chunks: Sequence,
+        pending: List[int],
+        tokens: Dict[int, Any],
+        results: List[Any],
+    ) -> Tuple[List[int], bool, Optional[PoolError]]:
         """One dispatch wave over ``pending``; fills ``results`` in place.
 
         Returns ``(still_failed, any_timeout, last_error)``.  Chunks whose
         result arrived after their deadline but before the sweep finished
         are recovered verbatim (``resilience.late_results``) — never
         re-executed, so recovery work is bounded by what actually failed.
+        Worker exceptions outside ``_RETRYABLE_CHUNK_ERRORS`` propagate.
         """
-        handles = {
-            index: self._pool.apply_async(
-                self.worker_fn, ((chunks[index], tokens.get(index)),)
+        assert self._pool is not None
+        try:
+            handles = {
+                index: self._pool.apply_async(
+                    self.worker_fn, ((chunks[index], tokens.get(index)),)
+                )
+                for index in pending
+            }
+        except Exception as error:  # noqa: BLE001 — submission can fail with
+            # anything from ValueError("Pool not running") to a pickling
+            # error on the payload; every flavor means this wave dispatched
+            # nothing, which the retry loop handles uniformly (respawn the
+            # pool, re-dispatch every pending chunk).
+            self.perf.count("resilience.dispatch_failures")
+            return (
+                list(pending),
+                True,  # assume the pool is unusable
+                WorkerCrash(f"chunk dispatch failed: {error}"),
             )
-            for index in pending
-        }
         failed: List[int] = []
         timed_out = False
         last_error: Optional[PoolError] = None
@@ -259,7 +297,7 @@ class ResilientPool:
                     f"chunk {index} missed its {self.chunk_timeout}s deadline"
                 )
                 self.perf.count("resilience.chunk_timeouts")
-            except Exception as error:
+            except _RETRYABLE_CHUNK_ERRORS as error:
                 failed.append(index)
                 last_error = WorkerCrash(f"chunk {index} failed: {error}")
                 self.perf.count("resilience.chunk_failures")
@@ -272,8 +310,11 @@ class ResilientPool:
                     results[index] = handle.get(timeout=0)
                     recovered = True
                     self.perf.count("resilience.late_results")
-                except Exception:
-                    pass  # counted above; stays failed
+                except Exception:  # noqa: BLE001 — the chunk is already
+                    # counted failed above; a second error here just means
+                    # the late result is unusable too, so it stays failed
+                    # and the normal retry path re-dispatches it.
+                    pass
             if not recovered:
                 still_failed.append(index)
         return still_failed, timed_out, last_error

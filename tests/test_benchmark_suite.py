@@ -155,6 +155,29 @@ class TestGF2:
         with pytest.raises(ValueError):
             gf2_mult(11)
 
+    def test_gf2_emitted_gate_order_is_pinned(self):
+        """The exact gate sequence is part of the determinism contract.
+
+        The reduction-table folds dedup via dict.fromkeys (first-seen order)
+        rather than set() iteration, whose order is process-dependent under
+        PEP 456 string-hash randomization.  n=8 uses the pentanomial
+        x^8+x^4+x^3+x+1 and n=10 exercises the reduced_mod recursion, so
+        these two digests cover every construction path.
+        """
+        import hashlib
+
+        expected = {
+            8: "bf825550b7721c8252159d640aecc679181bcdc0064b0102e3a6c116924d295f",
+            10: "fae8faf2b9a780abcdbf798aaf421b68731f7d9c4ea46f94862ca5d96d6dc348",
+        }
+        for n, digest in expected.items():
+            circuit = gf2_mult(n)
+            blob = ";".join(
+                "%s:%s" % (inst.gate, ",".join(map(str, inst.qubits)))
+                for inst in circuit.instructions
+            )
+            assert hashlib.sha256(blob.encode()).hexdigest() == digest
+
     def test_gf2_2_multiplication_table(self):
         """Check a*b over GF(4) with polynomial x^2 + x + 1 for a basis case."""
         circuit = gf2_mult(2)

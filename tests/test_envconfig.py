@@ -241,3 +241,24 @@ class TestCacheDirAndScale:
         assert envconfig.env_scale() == "medium"
         monkeypatch.setenv(SCALE_ENV_VAR, "")
         assert envconfig.env_scale() == "quick"
+
+
+class TestMicrobench:
+    def test_check_only_spellings(self, monkeypatch):
+        monkeypatch.delenv(envconfig.MICROBENCH_ENV_VAR, raising=False)
+        assert envconfig.env_microbench_check_only() is False
+        for raw in ("check", "CHECK", " Check-Only ", "check-only"):
+            monkeypatch.setenv(envconfig.MICROBENCH_ENV_VAR, raw)
+            assert envconfig.env_microbench_check_only() is True
+        for raw in ("", "1", "full", "yes"):
+            monkeypatch.setenv(envconfig.MICROBENCH_ENV_VAR, raw)
+            assert envconfig.env_microbench_check_only() is False
+
+    def test_json_path_default_and_env(self, monkeypatch, tmp_path):
+        monkeypatch.delenv(envconfig.MICROBENCH_JSON_ENV_VAR, raising=False)
+        assert envconfig.env_microbench_json(default="x.json") == "x.json"
+        monkeypatch.setenv(envconfig.MICROBENCH_JSON_ENV_VAR, "")
+        assert envconfig.env_microbench_json(default="x.json") == "x.json"
+        target = str(tmp_path / "out.json")
+        monkeypatch.setenv(envconfig.MICROBENCH_JSON_ENV_VAR, target)
+        assert envconfig.env_microbench_json(default="x.json") == target

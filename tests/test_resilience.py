@@ -156,6 +156,50 @@ class TestNoLeakedWorkers:
         assert self._foreign_children(before) == set()
 
 
+def _noop_init() -> None:
+    pass
+
+
+def _buggy_chunk_fn(payload):
+    chunk, _token = payload
+    return chunk + None  # seeded TypeError: a bug, not an infrastructure fault
+
+
+class TestProgrammingErrorsSurface:
+    def test_seeded_typeerror_in_chunk_fn_propagates(self):
+        # The retry loop absorbs infrastructure faults (timeouts, crashes,
+        # FaultInjected) — a TypeError from a buggy chunk function must NOT
+        # be retried into RetryExhausted and a degraded round; it surfaces
+        # with its original type so the bug is debuggable.
+        from repro.perf import PerfRecorder
+
+        perf = PerfRecorder()
+        with ResilientPool(
+            _buggy_chunk_fn,
+            _noop_init,
+            (),
+            2,
+            site="gen",
+            chunk_timeout=TIMEOUT,
+            chunk_retries=3,
+            perf=perf,
+        ) as pool:
+            with pytest.raises(TypeError):
+                pool.run_chunks([1, 2, 3])
+        # No retry budget was burned on the programming error.
+        assert perf.value("resilience.chunk_retries") == 0
+        assert perf.value("resilience.chunk_failures") == 0
+
+    def test_fault_injected_stays_retryable(self):
+        # Contrast: the chaos machinery's own exception remains on the
+        # absorb-and-retry path (fail_chunk recovery is exercised end-to-end
+        # in TestByteIdentityUnderFaults; this pins the classification).
+        from repro.workerpool import _RETRYABLE_CHUNK_ERRORS
+
+        assert issubclass(FaultInjected, _RETRYABLE_CHUNK_ERRORS)
+        assert not issubclass(TypeError, _RETRYABLE_CHUNK_ERRORS)
+
+
 class TestChunkPurity:
     def test_chunk_results_are_bit_identical_on_re_execution(self):
         # The safety argument for re-dispatch: a chunk's results are a pure
