@@ -147,6 +147,7 @@ def register(cls: type) -> type:
         raise ValueError(f"rule {rule.id}: unknown severity {rule.severity!r}")
     if rule.id in _REGISTRY:
         raise ValueError(f"rule id {rule.id} registered twice")
+    # repro: allow(mutable-module-global): rule registry populated by the @register decorator at import time only
     _REGISTRY[rule.id] = rule
     return cls
 

@@ -20,6 +20,7 @@ configuration pays for generation once.
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from dataclasses import dataclass, field
@@ -36,7 +37,7 @@ from repro.generator.pruning import prune_common_subcircuits, simplify_ecc_set
 from repro.generator.repgen import GeneratorResult, GeneratorStats, RepGen
 from repro.ir.circuit import Circuit
 from repro.ir.gatesets import GateSet, get_gate_set
-from repro.ir.qasm import parse_qasm, read_qasm
+from repro.ir.qasm import parse_qasm, read_qasm, to_qasm
 from repro.optimizer.cost import CostModel
 from repro.optimizer.search import OptimizationResult
 from repro.optimizer.strategies import SearchStrategy, get_strategy
@@ -44,7 +45,11 @@ from repro.optimizer.xfer import Transformation, transformations_from_ecc_set
 from repro.perf import PerfRecorder
 from repro.preprocess import SUPPORTED_GATE_SETS as PREPROCESS_GATE_SETS
 from repro.preprocess import preprocess as run_preprocess
-from repro.semantics.backend import circuits_equivalent_statevector, get_backend
+from repro.semantics.backend import (
+    circuits_equivalent_statevector,
+    circuits_equivalent_statevector_batched,
+    get_backend,
+)
 from repro.semantics.fingerprint import resolve_batched
 from repro.workerpool import resolve_chunk_retries, resolve_chunk_timeout
 
@@ -55,6 +60,11 @@ _UNSET = object()
 #: benchmark circuits do not pay — or fail — a dense-vector check the
 #: search itself never needed.
 VERIFY_MAX_QUBITS = 20
+
+#: Version tag of the :meth:`RunReport.to_json` schema.  Bump on any field
+#: addition/removal/rename so consumers (the service's job responses, the
+#: CLI ``--json`` output) can reject payloads they do not understand.
+REPORT_SCHEMA_VERSION = 1
 
 # In-process memoization of generation outputs, shared by every facade (and
 # by the legacy ``repro.experiments.runner`` wrappers).
@@ -239,6 +249,11 @@ class RunReport:
     ``total``; ``perf`` merges the hot-path counters of every stage;
     ``provenance`` records which backend/strategy/worker-count/cache
     actually served the run.
+
+    ``ecc_set``/``generator_stats``/``config`` are ``None`` on reports
+    reconstructed by :meth:`from_json`: the JSON schema is a *summary* —
+    it carries the circuits (as QASM), every scalar statistic and the
+    provenance, but not the heavy generation artifacts.
     """
 
     circuit: Circuit
@@ -247,7 +262,7 @@ class RunReport:
     initial_cost: float
     final_cost: float
     search_result: OptimizationResult
-    ecc_set: ECCSet
+    ecc_set: Optional[ECCSet]
     num_transformations: int
     generator_stats: Optional[GeneratorStats]
     stage_seconds: Dict[str, float] = field(default_factory=dict)
@@ -285,6 +300,95 @@ class RunReport:
             "provenance": dict(self.provenance),
             "perf": dict(self.perf),
         }
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """The stable, versioned JSON schema of this report.
+
+        Unlike :meth:`as_dict` (a loose summary for logs), this schema is a
+        contract: circuits are carried as QASM so a report can be
+        reconstructed by :meth:`from_json`, and
+        ``to_json(from_json(to_json(r))) == to_json(r)`` holds byte-for-byte.
+        """
+        return {
+            "schema": REPORT_SCHEMA_VERSION,
+            "circuits": {
+                "input_qasm": to_qasm(self.input_circuit),
+                "preprocessed_qasm": to_qasm(self.preprocessed_circuit),
+                "optimized_qasm": to_qasm(self.circuit),
+                "input_gates": self.input_circuit.gate_count,
+                "preprocessed_gates": self.preprocessed_circuit.gate_count,
+                "optimized_gates": self.circuit.gate_count,
+            },
+            "costs": {
+                "initial": self.initial_cost,
+                "final": self.final_cost,
+                "reduction": self.reduction,
+            },
+            "search": {
+                "iterations": self.search_result.iterations,
+                "circuits_explored": self.search_result.circuits_explored,
+                "time_seconds": self.search_result.time_seconds,
+                "timed_out": self.timed_out,
+            },
+            "num_transformations": self.num_transformations,
+            "verified": self.verified,
+            "stage_seconds": dict(self.stage_seconds),
+            "perf": dict(self.perf),
+            "provenance": dict(self.provenance),
+        }
+
+    def to_json(self, *, indent: Optional[int] = None) -> str:
+        """:meth:`to_json_dict` serialized with sorted keys (stable bytes)."""
+        return json.dumps(self.to_json_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: Union[str, Dict[str, Any]]) -> "RunReport":
+        """Reconstruct a report from :meth:`to_json` output.
+
+        The heavy generation artifacts (``ecc_set``, ``generator_stats``,
+        ``config``) are not part of the schema and come back ``None``; the
+        search's ``cost_trace`` samples likewise.  Everything serialized is
+        restored exactly (see the round-trip guarantee on
+        :meth:`to_json_dict`).
+        """
+        data: Dict[str, Any] = (
+            json.loads(payload) if isinstance(payload, str) else dict(payload)
+        )
+        schema = data.get("schema")
+        if schema != REPORT_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported RunReport schema {schema!r} "
+                f"(this library reads version {REPORT_SCHEMA_VERSION})"
+            )
+        circuits = data["circuits"]
+        costs = data["costs"]
+        search = data["search"]
+        optimized = parse_qasm(circuits["optimized_qasm"])
+        search_result = OptimizationResult(
+            circuit=optimized,
+            initial_cost=costs["initial"],
+            final_cost=costs["final"],
+            iterations=search["iterations"],
+            circuits_explored=search["circuits_explored"],
+            time_seconds=search["time_seconds"],
+            timed_out=search["timed_out"],
+        )
+        return cls(
+            circuit=optimized,
+            input_circuit=parse_qasm(circuits["input_qasm"]),
+            preprocessed_circuit=parse_qasm(circuits["preprocessed_qasm"]),
+            initial_cost=costs["initial"],
+            final_cost=costs["final"],
+            search_result=search_result,
+            ecc_set=None,
+            num_transformations=data["num_transformations"],
+            generator_stats=None,
+            stage_seconds=dict(data["stage_seconds"]),
+            perf=dict(data["perf"]),
+            provenance=dict(data["provenance"]),
+            verified=data["verified"],
+            config=None,
+        )
 
     def summary(self) -> str:
         """One human-readable line per interesting fact."""
@@ -374,7 +478,17 @@ class Superoptimizer:
         return self._transformations
 
     def verify(self, circuit_a: Circuit, circuit_b: Circuit) -> bool:
-        """Random-state equivalence screen on this facade's backend."""
+        """Random-state equivalence screen on this facade's backend.
+
+        On a batched facade the trials share one parameter draw and ride
+        ``apply_circuit_batch`` as a single state stack; the verdict is
+        identical to the per-trial path (same seeded draws, same tolerance
+        — asserted by the backend test suite).
+        """
+        if self._batched:
+            return circuits_equivalent_statevector_batched(
+                circuit_a, circuit_b, backend=self._backend_name
+            )
         return circuits_equivalent_statevector(
             circuit_a, circuit_b, backend=self._backend_name
         )
@@ -466,9 +580,7 @@ class Superoptimizer:
             config.verify_output
             and input_circuit.num_qubits <= VERIFY_MAX_QUBITS
         ):
-            verified = circuits_equivalent_statevector(
-                input_circuit, result.circuit, backend=self._backend_name
-            )
+            verified = self.verify(input_circuit, result.circuit)
         _stage("verify", start)
         stage_seconds["total"] = time.perf_counter() - total_start
 

@@ -30,6 +30,19 @@ the semantics of a knob cannot drift between call sites:
   resilience testing (parsed by :mod:`repro.faults`; malformed plans
   raise, they never fail silent);
 * ``REPRO_SCALE``         — experiment scale preset name;
+* ``REPRO_SERVICE_PORT``  — TCP port the optimization service binds
+  (invalid or out-of-range values warn and use the default);
+* ``REPRO_SERVICE_WORKERS`` — optimization-service worker processes;
+  values below 2 (the default) run jobs in the server process, 2+ spins a
+  persistent warm :class:`~repro.workerpool.ResilientPool` (same parsing
+  rules as ``REPRO_GEN_WORKERS``);
+* ``REPRO_SERVICE_BATCH_WINDOW_MS`` — how long the service's batching
+  dispatcher holds a verification flush open for co-batching, in
+  milliseconds; ``0`` flushes immediately, invalid/negative values warn
+  and use the default;
+* ``REPRO_SERVICE_MAX_QUEUE`` — bound on the service's job queue; a full
+  queue answers 429 (invalid or non-positive values warn and use the
+  default);
 * ``REPRO_MICROBENCH``    — micro-benchmark harness mode: ``check`` /
   ``check-only`` run the hot-path benchmarks as plain assertions without
   pytest-benchmark timing (any other value, or unset, means full timing);
@@ -61,8 +74,26 @@ FAULTS_ENV_VAR = "REPRO_FAULTS"
 SCALE_ENV_VAR = "REPRO_SCALE"
 MICROBENCH_ENV_VAR = "REPRO_MICROBENCH"
 MICROBENCH_JSON_ENV_VAR = "REPRO_MICROBENCH_JSON"
+SERVICE_PORT_ENV_VAR = "REPRO_SERVICE_PORT"
+SERVICE_WORKERS_ENV_VAR = "REPRO_SERVICE_WORKERS"
+SERVICE_BATCH_WINDOW_ENV_VAR = "REPRO_SERVICE_BATCH_WINDOW_MS"
+SERVICE_MAX_QUEUE_ENV_VAR = "REPRO_SERVICE_MAX_QUEUE"
 
 DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Default TCP port of ``python -m repro.service`` (chosen clear of the
+#: registered/common development ranges; override with
+#: ``REPRO_SERVICE_PORT`` or ``--port``).
+DEFAULT_SERVICE_PORT = 8321
+
+#: Default co-batching window of the service's verification dispatcher in
+#: milliseconds: long enough that requests arriving together share
+#: ``apply_gate_batch`` stacks, short enough to be invisible next to an
+#: optimize call.
+DEFAULT_SERVICE_BATCH_WINDOW_MS = 25.0
+
+#: Default bound on the service's job queue (a full queue answers 429).
+DEFAULT_SERVICE_MAX_QUEUE = 64
 
 #: Per-chunk deadline (seconds) when neither the argument nor the
 #: environment sets one.  Generous relative to the scales this repo runs
@@ -317,3 +348,125 @@ def env_microbench_json(*, default: str = "") -> str:
     """
     raw = os.environ.get(MICROBENCH_JSON_ENV_VAR, "").strip()
     return raw or default
+
+
+# -- optimization-service knobs ----------------------------------------------
+
+
+def parse_service_port(raw: str, *, default: int = DEFAULT_SERVICE_PORT) -> int:
+    """Parse a TCP port: 0 (ephemeral) through 65535; invalid warns, default."""
+    text = raw.strip()
+    try:
+        port = int(text) if text else default
+    except ValueError:
+        warnings.warn(
+            f"ignoring non-integer {SERVICE_PORT_ENV_VAR}={raw!r}; "
+            f"using default {default}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return default
+    if not 0 <= port <= 65535:
+        warnings.warn(
+            f"ignoring out-of-range {SERVICE_PORT_ENV_VAR}={raw!r}; "
+            f"using default {default}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return default
+    return port
+
+
+def env_service_port(*, default: int = DEFAULT_SERVICE_PORT) -> int:
+    """Service TCP port from ``REPRO_SERVICE_PORT`` (0 means ephemeral)."""
+    raw = os.environ.get(SERVICE_PORT_ENV_VAR)
+    if raw is None:
+        return default
+    return parse_service_port(raw, default=default)
+
+
+def env_service_workers(*, default: int = 1) -> int:
+    """Service worker processes from ``REPRO_SERVICE_WORKERS``.
+
+    Same parsing rules as ``REPRO_GEN_WORKERS`` (invalid/negative values
+    warn and mean 1).  Values below 2 run jobs inside the server process;
+    2+ dispatches to a persistent multiprocess worker pool.
+    """
+    raw = os.environ.get(SERVICE_WORKERS_ENV_VAR)
+    if raw is None:
+        return default
+    return parse_workers(raw, source=SERVICE_WORKERS_ENV_VAR)
+
+
+def parse_service_batch_window_ms(
+    raw: str, *, default: float = DEFAULT_SERVICE_BATCH_WINDOW_MS
+) -> float:
+    """Parse the co-batching window (ms): ``0`` flushes immediately.
+
+    Negative and non-numeric values warn and use the default — a malformed
+    knob must not silently disable cross-request batching.
+    """
+    text = raw.strip()
+    try:
+        window = float(text) if text else default
+    except ValueError:
+        warnings.warn(
+            f"ignoring non-numeric {SERVICE_BATCH_WINDOW_ENV_VAR}={raw!r}; "
+            f"using default {default}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return default
+    if window < 0:
+        warnings.warn(
+            f"ignoring negative {SERVICE_BATCH_WINDOW_ENV_VAR}={raw!r}; "
+            f"using default {default}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return default
+    return window
+
+
+def env_service_batch_window_ms(
+    *, default: float = DEFAULT_SERVICE_BATCH_WINDOW_MS
+) -> float:
+    """Co-batching window (ms) from ``REPRO_SERVICE_BATCH_WINDOW_MS``."""
+    raw = os.environ.get(SERVICE_BATCH_WINDOW_ENV_VAR)
+    if raw is None:
+        return default
+    return parse_service_batch_window_ms(raw, default=default)
+
+
+def parse_service_max_queue(
+    raw: str, *, default: int = DEFAULT_SERVICE_MAX_QUEUE
+) -> int:
+    """Parse the job-queue bound: a positive int; invalid warns, default."""
+    text = raw.strip()
+    try:
+        bound = int(text) if text else default
+    except ValueError:
+        warnings.warn(
+            f"ignoring non-integer {SERVICE_MAX_QUEUE_ENV_VAR}={raw!r}; "
+            f"using default {default}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return default
+    if bound < 1:
+        warnings.warn(
+            f"ignoring non-positive {SERVICE_MAX_QUEUE_ENV_VAR}={raw!r}; "
+            f"using default {default}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return default
+    return bound
+
+
+def env_service_max_queue(*, default: int = DEFAULT_SERVICE_MAX_QUEUE) -> int:
+    """Job-queue bound from ``REPRO_SERVICE_MAX_QUEUE``."""
+    raw = os.environ.get(SERVICE_MAX_QUEUE_ENV_VAR)
+    if raw is None:
+        return default
+    return parse_service_max_queue(raw, default=default)

@@ -42,6 +42,24 @@ recover from a name, so recovery sites catch exactly what they handle:
     Raised by an injected fault (``fail_chunk`` inside a worker,
     ``crash_run`` in the parent).  Test-only by construction — it can only
     appear when ``REPRO_FAULTS`` is set.
+
+``ServiceError``
+    A request-level failure of the optimization service
+    (:mod:`repro.service`).  Each subclass maps to exactly one HTTP
+    status, so the server's error handling is a typed dispatch — never a
+    blanket except:
+
+    * ``InvalidRequest`` — the request body does not parse (malformed
+      JSON, malformed QASM, unknown config field); HTTP 400.
+    * ``QueueFull``      — the bounded job queue is at capacity; HTTP 429
+      with a ``Retry-After`` hint.
+    * ``JobNotFound``    — the polled job id does not exist; HTTP 404.
+    * ``ServiceClosed``  — the service is draining or stopped and accepts
+      no new work; HTTP 503.
+
+    A job whose worker kept crashing surfaces the *pool* taxonomy instead:
+    its stored error is the :class:`RetryExhausted` that escaped the
+    dispatch, reported as HTTP 500.
 """
 
 from __future__ import annotations
@@ -56,6 +74,11 @@ __all__ = [
     "CheckpointError",
     "FaultConfigError",
     "FaultInjected",
+    "ServiceError",
+    "InvalidRequest",
+    "QueueFull",
+    "JobNotFound",
+    "ServiceClosed",
 ]
 
 
@@ -93,3 +116,34 @@ class FaultConfigError(ReproError):
 
 class FaultInjected(ReproError):
     """An injected fault fired (only possible under ``REPRO_FAULTS``)."""
+
+
+class ServiceError(ReproError):
+    """A request-level failure of the optimization service."""
+
+    #: The HTTP status this error class maps to (subclasses override).
+    http_status: int = 500
+
+
+class InvalidRequest(ServiceError):
+    """A service request body does not parse (JSON, QASM or config)."""
+
+    http_status = 400
+
+
+class QueueFull(ServiceError):
+    """The service's bounded job queue is at capacity."""
+
+    http_status = 429
+
+
+class JobNotFound(ServiceError):
+    """A polled job id does not exist."""
+
+    http_status = 404
+
+
+class ServiceClosed(ServiceError):
+    """The service is draining or stopped and accepts no new work."""
+
+    http_status = 503

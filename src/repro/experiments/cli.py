@@ -7,6 +7,7 @@ Runs the generation-centric experiments with the scale-out knobs exposed::
     python -m repro.experiments.cli optimize --gate-set nam --circuit tof_3 \
         --strategy beam --backend numpy
     python -m repro.experiments.cli registry
+    python -m repro.experiments.cli serve --port 8321 --n 2 --q 2
 
 Shared flags:
 
@@ -26,7 +27,9 @@ Shared flags:
 
 The ``optimize`` subcommand is a thin shell around
 :class:`repro.api.Superoptimizer`; its JSON output is the facade's
-:meth:`~repro.api.RunReport.as_dict`.
+versioned :meth:`~repro.api.RunReport.to_json_dict` schema — the same
+payload the optimization service streams.  ``serve`` starts that service
+(equivalent to ``python -m repro.service``).
 """
 
 from __future__ import annotations
@@ -224,13 +227,23 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     )
     report = Superoptimizer(config).optimize(circuit)
     if args.json:
-        payload = dict(report.as_dict(), circuit=args.circuit)
+        payload = dict(report.to_json_dict(), circuit=args.circuit)
         json.dump(payload, sys.stdout, indent=2, sort_keys=True)
         print()
     else:
         print(f"[optimize] {args.circuit} on {args.gate_set}:")
         print(report.summary())
     return 0 if report.verified is not False else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Forward to ``python -m repro.service`` (one server, same flags)."""
+    from repro.service.__main__ import main as service_main
+
+    forwarded = list(args.serve_args)
+    if forwarded and forwarded[0] == "--":
+        forwarded = forwarded[1:]
+    return service_main(forwarded)
 
 
 def _cmd_registry(args: argparse.Namespace) -> int:
@@ -325,6 +338,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     registry.add_argument("--json", action="store_true")
     registry.set_defaults(func=_cmd_registry)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the optimization service (same as python -m repro.service)",
+    )
+    serve.add_argument(
+        "serve_args",
+        nargs=argparse.REMAINDER,
+        help="flags forwarded to python -m repro.service (try: serve -- --help)",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     return parser
 

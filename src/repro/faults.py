@@ -19,12 +19,14 @@ Actions and the sites that execute them:
 action                    sites    effect when fired
 ========================  =======  ============================================
 ``kill_worker``           gen,     the worker handling the round's first chunk
-                          verify   dies hard (``os._exit``) — the chunk result
-                                   never arrives, exercising timeout + respawn
+                          verify,  dies hard (``os._exit``) — the chunk result
+                          service  never arrives, exercising timeout + respawn
 ``delay_chunk``           gen,     the first chunk sleeps past its deadline,
-                          verify   exercising the timeout + retry path
+                          verify,  exercising the timeout + retry path
+                          service
 ``fail_chunk``            gen,     the first chunk raises ``FaultInjected``
-                          verify   inside the worker (clean failure + retry)
+                          verify,  inside the worker (clean failure + retry)
+                          service
 ``corrupt_blob``          cache    the blob about to be read is bit-flipped
                                    *on disk* (persistent bit-rot: the re-read
                                    also fails, forcing regeneration)
@@ -92,15 +94,15 @@ CACHE_ACTIONS = ("corrupt_blob", "torn_read")
 
 #: Every recognized action and the sites allowed to host it.
 _ACTION_SITES = {
-    "kill_worker": {"gen", "verify"},
-    "delay_chunk": {"gen", "verify"},
-    "fail_chunk": {"gen", "verify"},
+    "kill_worker": {"gen", "verify", "service"},
+    "delay_chunk": {"gen", "verify", "service"},
+    "fail_chunk": {"gen", "verify", "service"},
     "corrupt_blob": {"cache"},
     "torn_read": {"cache"},
     "crash_run": {"gen"},
 }
 
-_SITES = {"gen", "verify", "cache"}
+_SITES = {"gen", "verify", "cache", "service"}
 
 
 @dataclass

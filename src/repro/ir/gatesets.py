@@ -89,6 +89,7 @@ def get_gate_set(name: str) -> GateSet:
 
 def register_gate_set(gate_set: GateSet) -> GateSet:
     """Register a custom gate set so it can be retrieved by name."""
+    # repro: allow(mutable-module-global): registry populated by register_gate_set at import time; workers re-register identically when they import the defining module
     _GATE_SET_REGISTRY[gate_set.name.lower()] = gate_set
     return gate_set
 

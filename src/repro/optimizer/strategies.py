@@ -261,6 +261,7 @@ def register_strategy(
     key = name.lower()
     if key in _FACTORIES and not replace:
         raise ValueError(f"search strategy {name!r} is already registered")
+    # repro: allow(mutable-module-global): registry populated by register_strategy at import time; workers re-register identically when they import the defining module
     _FACTORIES[key] = factory
 
 

@@ -304,6 +304,92 @@ def circuits_equivalent_statevector(
     return True
 
 
+def equivalence_trial_inputs(
+    num_qubits: int,
+    num_params: int,
+    *,
+    num_trials: int = 2,
+    seed: int = 7,
+    backend: str | SimulatorBackend = DEFAULT_BACKEND,
+) -> tuple[List[float], np.ndarray]:
+    """One shared parameter draw plus a ``(num_trials, 2**q)`` state stack.
+
+    The shared-draw restructure of the output-verification screen: instead
+    of drawing fresh parameters per trial (which forces one
+    ``apply_circuit`` per trial state), the parameters are drawn once and
+    every trial state is drawn afterwards from the same seeded stream — so
+    all trials of one circuit ride a single
+    :meth:`SimulatorBackend.apply_circuit_batch` call.  Deliberately a
+    public seam: the optimization service's cross-request batching
+    dispatcher uses exactly these inputs, which is what makes a co-batched
+    verification byte-identical to a lone one.
+    """
+    resolved = get_backend(backend)
+    rng = np.random.default_rng(seed)
+    params = list(rng.uniform(-np.pi, np.pi, size=max(num_params, 1)))
+    states = np.stack(
+        [resolved.random_state(num_qubits, rng) for _ in range(num_trials)]
+    )
+    return params, states
+
+
+def equivalence_verdict_from_images(
+    images_a: np.ndarray, images_b: np.ndarray, *, tol: float = 1e-8
+) -> bool:
+    """Per-trial global-phase comparison of two evolved state stacks.
+
+    Row ``i`` of each stack is the image of the same unit input state under
+    circuit A resp. B; equivalence up to a global phase means
+    ``| <a_i|b_i> | = 1`` for every trial.  One ``np.vdot`` per row — the
+    exact float reduction of the per-trial path.
+    """
+    for image_a, image_b in zip(images_a, images_b):
+        if abs(abs(np.vdot(image_a, image_b)) - 1.0) > tol:
+            return False
+    return True
+
+
+def circuits_equivalent_statevector_batched(
+    circuit_a: Circuit,
+    circuit_b: Circuit,
+    *,
+    backend: str | SimulatorBackend = DEFAULT_BACKEND,
+    num_trials: int = 2,
+    seed: int = 7,
+    tol: float = 1e-8,
+) -> bool:
+    """The random-state equivalence screen over batched multi-state kernels.
+
+    Semantically the batched restructure of
+    :func:`circuits_equivalent_statevector`: parameters are drawn once and
+    shared by every trial (see :func:`equivalence_trial_inputs`), so each
+    circuit is applied to all trial states in one
+    :meth:`~SimulatorBackend.apply_circuit_batch` call instead of one
+    ``apply_circuit`` per trial.  The draws differ from the per-trial
+    path's (params per trial there, once here), so the float streams are
+    not comparable — but the *verdict* agrees, which is what
+    ``tests/test_backends.py`` pins over equivalent and inequivalent
+    pairs.  Used by the facade whenever batching is enabled, and by the
+    optimization service's cross-request batching dispatcher.
+    """
+    if circuit_a.num_qubits != circuit_b.num_qubits:
+        return False
+    num_params = max(
+        [p + 1 for p in circuit_a.used_params() | circuit_b.used_params()] or [0]
+    )
+    params, states = equivalence_trial_inputs(
+        circuit_a.num_qubits,
+        num_params,
+        num_trials=num_trials,
+        seed=seed,
+        backend=backend,
+    )
+    resolved = get_backend(backend)
+    images_a = resolved.apply_circuit_batch(circuit_a, states, params)
+    images_b = resolved.apply_circuit_batch(circuit_b, states, params)
+    return equivalence_verdict_from_images(images_a, images_b, tol=tol)
+
+
 def _make_numba_backend() -> SimulatorBackend:
     from repro.semantics.numba_backend import NumbaBackend
 

@@ -1,0 +1,34 @@
+"""``repro.service`` — superoptimization as a service.
+
+The ROADMAP's north star is Quartz's production setting: a
+superoptimization tier absorbing heavy concurrent traffic.  This package
+is that layer over the :class:`repro.api.Superoptimizer` facade:
+
+* :class:`~repro.service.config.ServiceConfig` — frozen serving knobs
+  (``REPRO_SERVICE_*``) plus the base run configuration;
+* :class:`~repro.service.jobs.JobManager` — bounded queue, warm
+  executors, content-hash result memoization, in-flight dedupe;
+* :class:`~repro.service.batching.BatchingDispatcher` — cross-request
+  coalescing of verification state evolution into shared
+  ``apply_gate_batch`` stacks (bit-identical per request by the PR 5
+  kernel contract);
+* :class:`~repro.service.http.OptimizationHTTPServer` — the stdlib-only
+  asyncio HTTP front (``python -m repro.service`` to run it).
+
+Everything heavy stays in the library; the service adds scheduling,
+memoization and the wire protocol — and its ``result`` blocks are
+byte-identical to direct facade runs, co-batched or not.
+"""
+
+from repro.service.batching import BatchingDispatcher
+from repro.service.config import ServiceConfig
+from repro.service.http import OptimizationHTTPServer
+from repro.service.jobs import Job, JobManager
+
+__all__ = [
+    "BatchingDispatcher",
+    "Job",
+    "JobManager",
+    "OptimizationHTTPServer",
+    "ServiceConfig",
+]

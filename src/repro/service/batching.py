@@ -1,0 +1,335 @@
+"""Cross-request co-batching of output-verification state evolution.
+
+Every optimization job ends with the facade's random-state equivalence
+screen: evolve a small stack of seeded trial states through the input and
+the optimized circuit and compare the images up to a global phase.  Served
+one request at a time that screen pays per-gate dispatch per request; the
+:class:`BatchingDispatcher` instead collects the verification work of
+*concurrent* requests and drives it in lockstep — at every step the
+not-yet-finished circuits' current instructions are grouped by ``(backend
+namespace, qubit count, target qubits, gate matrix)`` and each distinct
+group rides **one** :meth:`~repro.semantics.backend.SimulatorBackend.apply_gate_batch`
+call over the merged state stacks.
+
+Correctness leans on the PR 5 batched-kernel contract: on a backend whose
+``batch_bit_identical`` flag is true (numpy), the batched kernel performs
+the exact per-row floating-point operations of the per-state path, so a
+row's evolution does not depend on which other rows share its stack.
+Co-batching therefore *cannot* change any request's verdict bytes — a
+verdict computed in a shared flush is identical to the same pair verified
+alone (asserted by ``tests/test_service.py``).  On a backend that does not
+make that promise the dispatcher never merges stacks across items: each
+circuit keeps a private namespace and only the flush timing is shared.
+
+The trial inputs come from
+:func:`repro.semantics.backend.equivalence_trial_inputs` — the same shared
+parameter draw the facade's batched verification path uses — which is what
+makes a service verdict byte-identical to ``Superoptimizer.verify`` on the
+same pair.
+
+Observability (``snapshot()``): ``service.batch.flushes``,
+``service.batch.pairs``, ``service.batch.gate_calls``,
+``service.batch.shared_gate_calls`` (calls that served more than one
+circuit) and ``service.batch.occupancy`` — the *maximum number of distinct
+jobs* ever co-flushed, the counter the cross-request acceptance test keys
+on (a lone request can never push it past 1).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ir.circuit import Circuit, Instruction
+from repro.semantics.backend import (
+    equivalence_trial_inputs,
+    equivalence_verdict_from_images,
+    get_backend,
+)
+from repro.semantics.simulator import instruction_unitary
+
+__all__ = ["BatchingDispatcher", "DEFAULT_MAX_PAIRS"]
+
+#: Size threshold: a batch holding this many verification pairs flushes
+#: immediately instead of waiting out the window.
+DEFAULT_MAX_PAIRS = 32
+
+#: Trial count / seed / tolerance of the facade's verification screen —
+#: fixed here (not knobs) because changing them would change verdicts
+#: between the service and ``Superoptimizer.verify``.
+NUM_TRIALS = 2
+SEED = 7
+TOL = 1e-8
+
+
+@dataclass
+class _Item:
+    """One circuit's evolving trial-state stack inside a flush."""
+
+    circuit: Circuit
+    states: np.ndarray
+    params: List[float]
+    backend_name: str
+    #: Stack-merge namespace: the backend name when its batched kernels
+    #: are bit-identical (merge freely), else a per-item token (never
+    #: merge — co-batching must not be able to change verdict bytes).
+    namespace: Tuple[object, ...]
+    cursor: int = 0
+
+    @property
+    def instructions(self) -> Sequence[Instruction]:
+        return self.circuit.instructions
+
+    @property
+    def done(self) -> bool:
+        return self.cursor >= len(self.circuit.instructions)
+
+
+@dataclass
+class _Pair:
+    """A queued verification request: two circuits, one verdict future."""
+
+    circuit_a: Circuit
+    circuit_b: Circuit
+    backend_name: str
+    job_key: str
+    future: "Future[bool]"
+    arrival: float = 0.0
+    items: List[_Item] = field(default_factory=list)
+
+
+class BatchingDispatcher:
+    """Coalesces concurrent verification pairs into shared gate batches.
+
+    ``submit_pair`` is thread-safe and returns a
+    :class:`concurrent.futures.Future` resolving to the equivalence
+    verdict.  A single dispatcher thread collects pending pairs and
+    flushes a batch when either ``max_pairs`` is reached or
+    ``window_ms`` has elapsed since the batch's first arrival (0 means
+    "flush as soon as the thread is free" — late arrivals still coalesce
+    while a previous flush runs).
+    """
+
+    def __init__(
+        self, *, window_ms: float = 25.0, max_pairs: int = DEFAULT_MAX_PAIRS
+    ) -> None:
+        if max_pairs < 1:
+            raise ValueError("max_pairs must be at least 1")
+        self.window_ms = max(float(window_ms), 0.0)
+        self.max_pairs = max_pairs
+        self._pending: List[_Pair] = []
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._closed = False
+        self._counters: Dict[str, float] = {
+            "service.batch.flushes": 0,
+            "service.batch.pairs": 0,
+            "service.batch.gate_calls": 0,
+            "service.batch.shared_gate_calls": 0,
+            "service.batch.occupancy": 0,
+        }
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service-batcher", daemon=True
+        )
+        self._thread.start()
+
+    # -- public API ----------------------------------------------------------
+
+    def submit_pair(
+        self,
+        circuit_a: Circuit,
+        circuit_b: Circuit,
+        *,
+        backend: str = "numpy",
+        job_key: str = "",
+    ) -> "Future[bool]":
+        """Queue an equivalence check; the future resolves to the verdict.
+
+        ``job_key`` identifies the submitting job for the occupancy
+        counter — pairs sharing a key count as one job in a flush.
+        """
+        future: "Future[bool]" = Future()
+        pair = _Pair(
+            circuit_a=circuit_a,
+            circuit_b=circuit_b,
+            backend_name=get_backend(backend).name,
+            job_key=job_key or f"pair-{id(future):x}",
+            future=future,
+        )
+        with self._wake:
+            if self._closed:
+                raise RuntimeError("dispatcher is closed")
+            pair.arrival = time.monotonic()
+            self._pending.append(pair)
+            self._wake.notify_all()
+        return future
+
+    def snapshot(self) -> Dict[str, float]:
+        """A copy of the ``service.batch.*`` counters."""
+        with self._lock:
+            return dict(self._counters)
+
+    def close(self) -> None:
+        """Flush whatever is pending and stop the dispatcher thread."""
+        with self._wake:
+            if self._closed:
+                return
+            self._closed = True
+            self._wake.notify_all()
+        self._thread.join()
+
+    def __enter__(self) -> "BatchingDispatcher":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- dispatcher thread ---------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            batch = self._collect()
+            if batch is None:
+                return
+            if batch:
+                self._flush(batch)
+
+    def _collect(self) -> Optional[List[_Pair]]:
+        """Wait for a batch worth flushing; None means "closed and drained"."""
+        with self._wake:
+            while not self._pending and not self._closed:
+                self._wake.wait()
+            if not self._pending:
+                return None  # closed with nothing left
+            window = self.window_ms / 1000.0
+            deadline = self._pending[0].arrival + window
+            while (
+                len(self._pending) < self.max_pairs
+                and not self._closed
+                and (remaining := deadline - time.monotonic()) > 0
+            ):
+                self._wake.wait(timeout=remaining)
+            batch = self._pending
+            self._pending = []
+            return batch
+
+    # -- the flush -----------------------------------------------------------
+
+    def _flush(self, batch: List[_Pair]) -> None:
+        try:
+            ready = [pair for pair in batch if self._prepare(pair)]
+            self._evolve([item for pair in ready for item in pair.items])
+            for pair in ready:
+                item_a, item_b = pair.items
+                pair.future.set_result(
+                    equivalence_verdict_from_images(
+                        item_a.states, item_b.states, tol=TOL
+                    )
+                )
+        except Exception as error:  # noqa: BLE001 — flush boundary: any
+            # failure here (a bad circuit, a backend error) belongs to the
+            # submitting jobs, so it is routed to every unresolved future
+            # (surfacing as that job's failure) instead of killing the
+            # dispatcher thread for all future requests.
+            for pair in batch:
+                if not pair.future.done():
+                    pair.future.set_exception(error)
+        with self._lock:
+            jobs = {pair.job_key for pair in batch}
+            self._counters["service.batch.flushes"] += 1
+            self._counters["service.batch.pairs"] += len(batch)
+            self._counters["service.batch.occupancy"] = max(
+                self._counters["service.batch.occupancy"], len(jobs)
+            )
+
+    def _prepare(self, pair: _Pair) -> bool:
+        """Build the pair's two items; False resolves the verdict early."""
+        if pair.circuit_a.num_qubits != pair.circuit_b.num_qubits:
+            pair.future.set_result(False)
+            return False
+        num_qubits = pair.circuit_a.num_qubits
+        num_params = max(
+            [
+                p + 1
+                for p in pair.circuit_a.used_params() | pair.circuit_b.used_params()
+            ]
+            or [0]
+        )
+        params, states = equivalence_trial_inputs(
+            num_qubits,
+            num_params,
+            num_trials=NUM_TRIALS,
+            seed=SEED,
+            backend=pair.backend_name,
+        )
+        backend = get_backend(pair.backend_name)
+        for circuit in (pair.circuit_a, pair.circuit_b):
+            item = _Item(
+                circuit=circuit,
+                states=np.array(states, dtype=complex),
+                params=params,
+                backend_name=pair.backend_name,
+                namespace=(
+                    (pair.backend_name,)
+                    if backend.batch_bit_identical
+                    else (pair.backend_name, object())
+                ),
+            )
+            pair.items.append(item)
+        return True
+
+    def _evolve(self, items: List[_Item]) -> None:
+        """Lockstep gate-by-gate evolution over merged state stacks."""
+        active = [item for item in items if not item.done]
+        while active:
+            groups: Dict[Tuple[object, ...], List[_Item]] = {}
+            matrices: Dict[Tuple[object, ...], np.ndarray] = {}
+            for item in active:
+                inst = item.instructions[item.cursor]
+                matrix = instruction_unitary(inst, item.params)
+                key = (
+                    item.namespace,
+                    item.circuit.num_qubits,
+                    tuple(inst.qubits),
+                    matrix.tobytes(),
+                )
+                groups.setdefault(key, []).append(item)
+                matrices[key] = matrix
+            for key, members in groups.items():
+                self._apply_group(key, matrices[key], members)
+            active = [item for item in active if not item.done]
+
+    def _apply_group(
+        self,
+        key: Tuple[object, ...],
+        matrix: np.ndarray,
+        members: List[_Item],
+    ) -> None:
+        """One ``apply_gate_batch`` call advancing every member one gate."""
+        num_qubits = int(key[1])  # type: ignore[call-overload]
+        qubits = list(key[2])  # type: ignore[arg-type]
+        backend = get_backend(members[0].backend_name)
+        if len(members) == 1:
+            only = members[0]
+            only.states = backend.apply_gate_batch(
+                only.states, matrix, qubits, num_qubits
+            )
+        else:
+            stack = np.concatenate([member.states for member in members])
+            evolved = backend.apply_gate_batch(stack, matrix, qubits, num_qubits)
+            offset = 0
+            for member in members:
+                rows = member.states.shape[0]
+                member.states = evolved[offset : offset + rows]
+                offset += rows
+            with self._lock:
+                self._counters["service.batch.shared_gate_calls"] += 1
+        with self._lock:
+            self._counters["service.batch.gate_calls"] += 1
+        for member in members:
+            member.cursor += 1

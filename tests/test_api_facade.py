@@ -338,3 +338,47 @@ class TestLegacyShims:
             benchmark_circuit("tof_3"), "nam", n=1, q=1,
             max_iterations=1, timeout_seconds=5,
         )
+
+
+class TestReportJSONRoundTrip:
+    """Satellite of the service PR: a stable, versioned report schema.
+
+    The CLI's ``--json``, the service's job reports and any archived run
+    all speak :meth:`RunReport.to_json`; the round-trip guarantee is that
+    serializing a deserialized report reproduces the original **bytes**.
+    """
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        clear_memory_caches()
+        facade = Superoptimizer(
+            gate_set="nam", n=3, q=2, cache_enabled=False, max_iterations=100
+        )
+        return facade.optimize(Circuit(2).h(0).h(1).cx(0, 1).h(0).h(1))
+
+    def test_round_trip_is_byte_identical(self, report):
+        first = report.to_json()
+        restored = RunReport.from_json(first)
+        assert restored.to_json() == first
+        # And a second hop stays fixed (the schema is a fixpoint).
+        assert RunReport.from_json(restored.to_json()).to_json() == first
+
+    def test_restored_fields_match(self, report):
+        restored = RunReport.from_json(report.to_json())
+        assert restored.final_cost == report.final_cost
+        assert restored.verified == report.verified
+        assert to_qasm(restored.circuit) == to_qasm(report.circuit)
+        assert restored.provenance == report.provenance
+        assert restored.stage_seconds == report.stage_seconds
+        # Heavy generation artifacts are deliberately not serialized.
+        assert restored.ecc_set is None and restored.config is None
+
+    def test_dict_payloads_are_accepted(self, report):
+        restored = RunReport.from_json(report.to_json_dict())
+        assert restored.to_json() == report.to_json()
+
+    def test_unsupported_schema_is_rejected(self, report):
+        payload = report.to_json_dict()
+        payload["schema"] = 999
+        with pytest.raises(ValueError, match="schema"):
+            RunReport.from_json(payload)

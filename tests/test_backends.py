@@ -256,3 +256,55 @@ class TestNumbaBackendEndToEnd:
             numba_result.stats.num_transformations
             == numpy_result.stats.num_transformations
         )
+
+
+class TestBatchedVerdictIdentity:
+    """The batched verifier path must agree with the per-trial one.
+
+    ``circuits_equivalent_statevector_batched`` is the seam the facade and
+    the service ride (PR 8): same trial draws (``equivalence_trial_inputs``),
+    same tolerance, one ``apply_circuit_batch`` instead of per-trial calls —
+    so its *verdict* must be indistinguishable from the scalar path.
+    """
+
+    def _pairs(self):
+        for name in PARITY_BENCHMARKS:
+            circuit = benchmark_circuit(name)
+            preprocessed = preprocess(circuit, "nam")
+            yield circuit, preprocessed  # equivalent
+            yield circuit, preprocessed.copy().x(0)  # not equivalent
+
+    def test_batched_matches_per_trial_verdicts(self):
+        from repro.semantics.backend import (
+            circuits_equivalent_statevector,
+            circuits_equivalent_statevector_batched,
+        )
+
+        backend = get_backend("numpy")
+        for circuit_a, circuit_b in self._pairs():
+            scalar = circuits_equivalent_statevector(
+                circuit_a, circuit_b, backend=backend
+            )
+            batched = circuits_equivalent_statevector_batched(
+                circuit_a, circuit_b, backend=backend
+            )
+            assert batched == scalar
+
+    def test_qubit_count_mismatch_is_not_equivalent(self):
+        from repro.semantics.backend import circuits_equivalent_statevector_batched
+
+        assert not circuits_equivalent_statevector_batched(
+            Circuit(1).h(0), Circuit(2).h(0), backend=get_backend("numpy")
+        )
+
+    def test_shared_draws_come_from_one_seeded_stream(self):
+        from repro.semantics.backend import equivalence_trial_inputs
+
+        params_a, states_a = equivalence_trial_inputs(3, 2, num_trials=2, seed=7)
+        params_b, states_b = equivalence_trial_inputs(3, 2, num_trials=2, seed=7)
+        assert params_a == params_b
+        np.testing.assert_array_equal(states_a, states_b)
+        assert states_a.shape == (2, 8)
+        # A different seed draws different trials.
+        _, states_c = equivalence_trial_inputs(3, 2, num_trials=2, seed=8)
+        assert not np.array_equal(states_a, states_c)

@@ -262,3 +262,82 @@ class TestMicrobench:
         target = str(tmp_path / "out.json")
         monkeypatch.setenv(envconfig.MICROBENCH_JSON_ENV_VAR, target)
         assert envconfig.env_microbench_json(default="x.json") == target
+
+
+class TestServiceKnobs:
+    def test_port_default_valid_and_ephemeral(self, monkeypatch):
+        monkeypatch.delenv(envconfig.SERVICE_PORT_ENV_VAR, raising=False)
+        assert envconfig.env_service_port() == envconfig.DEFAULT_SERVICE_PORT
+        monkeypatch.setenv(envconfig.SERVICE_PORT_ENV_VAR, " 9000 ")
+        assert envconfig.env_service_port() == 9000
+        monkeypatch.setenv(envconfig.SERVICE_PORT_ENV_VAR, "0")
+        assert envconfig.env_service_port() == 0
+
+    def test_port_invalid_and_out_of_range_warn_to_default(self, monkeypatch):
+        for raw in ("http", "-1", "70000"):
+            monkeypatch.setenv(envconfig.SERVICE_PORT_ENV_VAR, raw)
+            with pytest.warns(RuntimeWarning):
+                assert envconfig.env_service_port() == envconfig.DEFAULT_SERVICE_PORT
+
+    def test_workers_default_valid_and_invalid(self, monkeypatch):
+        monkeypatch.delenv(envconfig.SERVICE_WORKERS_ENV_VAR, raising=False)
+        assert envconfig.env_service_workers() == 1
+        monkeypatch.setenv(envconfig.SERVICE_WORKERS_ENV_VAR, "4")
+        assert envconfig.env_service_workers() == 4
+        monkeypatch.setenv(envconfig.SERVICE_WORKERS_ENV_VAR, "many")
+        with pytest.warns(RuntimeWarning):
+            assert envconfig.env_service_workers() == 1
+        monkeypatch.setenv(envconfig.SERVICE_WORKERS_ENV_VAR, "-3")
+        with pytest.warns(RuntimeWarning):
+            assert envconfig.env_service_workers() == 1
+
+    def test_batch_window_default_valid_zero_and_invalid(self, monkeypatch):
+        monkeypatch.delenv(envconfig.SERVICE_BATCH_WINDOW_ENV_VAR, raising=False)
+        assert (
+            envconfig.env_service_batch_window_ms()
+            == envconfig.DEFAULT_SERVICE_BATCH_WINDOW_MS
+        )
+        monkeypatch.setenv(envconfig.SERVICE_BATCH_WINDOW_ENV_VAR, "12.5")
+        assert envconfig.env_service_batch_window_ms() == 12.5
+        monkeypatch.setenv(envconfig.SERVICE_BATCH_WINDOW_ENV_VAR, "0")
+        assert envconfig.env_service_batch_window_ms() == 0.0
+        for raw in ("soon", "-5"):
+            monkeypatch.setenv(envconfig.SERVICE_BATCH_WINDOW_ENV_VAR, raw)
+            with pytest.warns(RuntimeWarning):
+                assert (
+                    envconfig.env_service_batch_window_ms()
+                    == envconfig.DEFAULT_SERVICE_BATCH_WINDOW_MS
+                )
+
+    def test_max_queue_default_valid_and_invalid(self, monkeypatch):
+        monkeypatch.delenv(envconfig.SERVICE_MAX_QUEUE_ENV_VAR, raising=False)
+        assert envconfig.env_service_max_queue() == envconfig.DEFAULT_SERVICE_MAX_QUEUE
+        monkeypatch.setenv(envconfig.SERVICE_MAX_QUEUE_ENV_VAR, "8")
+        assert envconfig.env_service_max_queue() == 8
+        for raw in ("lots", "0", "-2"):
+            monkeypatch.setenv(envconfig.SERVICE_MAX_QUEUE_ENV_VAR, raw)
+            with pytest.warns(RuntimeWarning):
+                assert (
+                    envconfig.env_service_max_queue()
+                    == envconfig.DEFAULT_SERVICE_MAX_QUEUE
+                )
+
+    def test_service_config_snapshots_env(self, monkeypatch):
+        from repro.service import ServiceConfig
+
+        monkeypatch.setenv(envconfig.SERVICE_PORT_ENV_VAR, "9100")
+        monkeypatch.setenv(envconfig.SERVICE_WORKERS_ENV_VAR, "3")
+        monkeypatch.setenv(envconfig.SERVICE_BATCH_WINDOW_ENV_VAR, "40")
+        monkeypatch.setenv(envconfig.SERVICE_MAX_QUEUE_ENV_VAR, "9")
+        config = ServiceConfig.from_env()
+        assert (config.port, config.workers, config.batch_window_ms, config.max_queue) == (
+            9100,
+            3,
+            40.0,
+            9,
+        )
+        assert config.pooled and config.executor_slots == 3
+        assert config.run_config.generation.resume is True  # service default
+        overridden = ServiceConfig.from_env(port=0, workers=1)
+        assert overridden.port == 0 and not overridden.pooled
+        assert overridden.executor_slots == 2

@@ -1,0 +1,512 @@
+"""The optimization service: batching, determinism, errors, the wire.
+
+The acceptance property of the service PR is at the top: N concurrent
+*distinct* circuits must co-batch (``service.batch.occupancy`` > 1) while
+every job's deterministic ``result`` block stays **byte-identical** to a
+serial, direct :class:`~repro.api.Superoptimizer` run of the same circuit
+and config.  The rest covers the dispatcher's verdict semantics, the
+content-hash cache and in-flight dedupe, the typed error paths (400 /
+429 + ``Retry-After`` / 404 / worker-crash retries ending in 500
+``RetryExhausted``), graceful drain, and the stdlib HTTP front end-to-end
+on an ephemeral port.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import http.client
+import json
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+import pytest
+
+from repro.api import RunConfig, Superoptimizer
+from repro.benchmarks_suite import benchmark_circuit
+from repro.errors import (
+    FaultInjected,
+    InvalidRequest,
+    JobNotFound,
+    QueueFull,
+    RetryExhausted,
+    ServiceClosed,
+)
+from repro.ir.qasm import parse_qasm, to_qasm
+from repro.service import BatchingDispatcher, JobManager, OptimizationHTTPServer, ServiceConfig
+from repro.service.executor import InlineExecutor, execute_job
+from repro.service.jobs import _result_block
+
+#: One base config for the whole module so the warm-facade table is built
+#: once (generation at n=2/q=2 is the only slow step).
+BASE_RUN = RunConfig().with_overrides(n=2, q=2, cache_enabled=False, verify_output=True)
+
+CIRCUITS = ("tof_3", "barenco_tof_3", "mod5_4")
+
+QASM_1Q_H = 'OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[1];\nh q[0];\n'
+QASM_1Q_HH = 'OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[1];\nh q[0];\nh q[0];\n'
+QASM_1Q_EMPTY = 'OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[1];\n'
+QASM_1Q_X = 'OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[1];\nx q[0];\n'
+QASM_2Q = 'OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[2];\ncx q[0],q[1];\n'
+
+
+def qasm_for(name: str) -> str:
+    return to_qasm(benchmark_circuit(name))
+
+
+def manager(**service_kwargs: Any) -> JobManager:
+    service_kwargs.setdefault("run_config", BASE_RUN)
+    return JobManager(ServiceConfig(**service_kwargs))
+
+
+def serial_result_block(name: str) -> Dict[str, Any]:
+    """What a direct facade run reports, shaped as the service's block."""
+    report = Superoptimizer(BASE_RUN).optimize(benchmark_circuit(name)).to_json_dict()
+    return _result_block(report, report["verified"])
+
+
+class TestBatchingDispatcher:
+    def test_verdicts_match_facade_semantics(self):
+        with BatchingDispatcher(window_ms=1.0) as dispatcher:
+            equivalent = dispatcher.submit_pair(
+                parse_qasm(QASM_1Q_HH), parse_qasm(QASM_1Q_EMPTY), job_key="eq"
+            )
+            different = dispatcher.submit_pair(
+                parse_qasm(QASM_1Q_H), parse_qasm(QASM_1Q_X), job_key="ne"
+            )
+            mismatch = dispatcher.submit_pair(
+                parse_qasm(QASM_1Q_H), parse_qasm(QASM_2Q), job_key="mm"
+            )
+            assert equivalent.result(10) is True
+            assert different.result(10) is False
+            assert mismatch.result(10) is False
+
+    def test_concurrent_pairs_share_a_flush(self):
+        with BatchingDispatcher(window_ms=250.0) as dispatcher:
+            first = dispatcher.submit_pair(
+                parse_qasm(QASM_1Q_HH), parse_qasm(QASM_1Q_EMPTY), job_key="job-a"
+            )
+            second = dispatcher.submit_pair(
+                parse_qasm(QASM_1Q_H), parse_qasm(QASM_1Q_X), job_key="job-b"
+            )
+            assert first.result(10) is True
+            assert second.result(10) is False
+            snapshot = dispatcher.snapshot()
+        assert snapshot["service.batch.occupancy"] == 2
+        assert snapshot["service.batch.flushes"] == 1
+        assert snapshot["service.batch.pairs"] == 2
+
+
+class TestCrossRequestByteIdentity:
+    """The acceptance test: co-batching must not change a single byte."""
+
+    def test_concurrent_distinct_circuits_cobatch_and_match_serial(self):
+        serial = {name: serial_result_block(name) for name in CIRCUITS}
+        # A generous window so all verifications land in one flush even on
+        # a loaded machine; executor_slots >= 2 runs jobs concurrently.
+        with manager(batch_window_ms=400.0) as service:
+            jobs = {name: service.submit(qasm_for(name)) for name in CIRCUITS}
+            for job in jobs.values():
+                assert job.wait(120)
+            stats = service.stats()
+        for name, job in jobs.items():
+            assert job.status == "completed"
+            assert job.result["verified"] is True
+            assert json.dumps(job.result, sort_keys=True) == json.dumps(
+                serial[name], sort_keys=True
+            )
+        assert stats["service.batch.occupancy"] > 1
+        assert stats["service.batch.shared_gate_calls"] > 0
+
+    def test_cache_hit_returns_identical_result(self):
+        with manager() as service:
+            first = service.submit(qasm_for("tof_3"))
+            assert first.wait(120)
+            again = service.submit(qasm_for("tof_3"))
+            assert again.finished and again.cached
+            assert json.dumps(again.result, sort_keys=True) == json.dumps(
+                first.result, sort_keys=True
+            )
+            stats = service.stats()
+        assert stats["service.cache.hits"] == 1
+
+    def test_formatting_differences_do_not_defeat_the_cache(self):
+        qasm = qasm_for("tof_3")
+        with manager() as service:
+            first = service.submit(qasm)
+            assert first.wait(120)
+            noisy = qasm.replace(";\n", ";\n\n")  # same circuit, other bytes
+            assert service.submit(noisy).cached
+
+
+class _BlockingExecutor:
+    """Holds every job until released; exposes how many got started."""
+
+    def __init__(self) -> None:
+        self.release = threading.Event()
+        self.started = threading.Semaphore(0)
+
+    def run(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        self.started.release()
+        assert self.release.wait(30), "test never released the executor"
+        return execute_job(payload)
+
+    def close(self) -> None:
+        pass
+
+
+class TestQueueAndDedupe:
+    def test_queue_full_rejects_with_429_class(self):
+        executor = _BlockingExecutor()
+        service = JobManager(
+            ServiceConfig(run_config=BASE_RUN, max_queue=1),
+            executor=executor,
+        )
+        try:
+            # Two jobs occupy both executor slots (waiting for each to start
+            # avoids racing the queue bound), the third fills the queue.
+            for name in ("tof_3", "barenco_tof_3"):
+                service.submit(qasm_for(name))
+                assert executor.started.acquire(timeout=10)
+            service.submit(qasm_for("mod5_4"))
+            with pytest.raises(QueueFull) as excinfo:
+                service.submit(qasm_for("tof_4"))
+            assert excinfo.value.http_status == 429
+            assert service.stats()["service.queue.rejected"] == 1
+        finally:
+            executor.release.set()
+            service.close()
+
+    def test_in_flight_duplicate_attaches_to_running_job(self):
+        executor = _BlockingExecutor()
+        service = JobManager(
+            ServiceConfig(run_config=BASE_RUN), executor=executor
+        )
+        try:
+            first = service.submit(qasm_for("tof_3"))
+            assert executor.started.acquire(timeout=10)
+            duplicate = service.submit(qasm_for("tof_3"))
+            assert duplicate is first
+            assert first.dedupe_hits == 1
+            assert service.stats()["service.dedupe.hits"] == 1
+        finally:
+            executor.release.set()
+            service.close()
+        assert first.status == "completed"
+
+
+class TestErrorPaths:
+    def test_malformed_qasm_is_invalid_request(self):
+        with manager() as service:
+            with pytest.raises(InvalidRequest) as excinfo:
+                service.submit("OPENQASM 2.0;\nqreg q[1];\nfrobnicate q[0];\n")
+            assert excinfo.value.http_status == 400
+            with pytest.raises(InvalidRequest):
+                service.submit("   ")
+
+    def test_bad_config_override_is_a_400_at_submit(self):
+        with manager() as service:
+            with pytest.raises(InvalidRequest):
+                service.submit(qasm_for("tof_3"), {"backend": "no-such-backend"})
+            with pytest.raises(InvalidRequest):
+                service.submit(qasm_for("tof_3"), {"not_a_knob": 1})
+            assert service.stats()["service.jobs.failed"] == 0
+
+    def test_unknown_job_id_is_404(self):
+        with manager() as service:
+            with pytest.raises(JobNotFound) as excinfo:
+                service.get("job-999")
+            assert excinfo.value.http_status == 404
+
+    def test_crashing_worker_retries_then_recovers(self):
+        crashes = {"left": 2}
+
+        def flaky(payload: Dict[str, Any]) -> Dict[str, Any]:
+            if crashes["left"]:
+                crashes["left"] -= 1
+                raise FaultInjected("injected worker crash")
+            return execute_job(payload)
+
+        service = JobManager(
+            ServiceConfig(run_config=BASE_RUN),
+            executor=InlineExecutor(chunk_retries=2, runner=flaky),
+        )
+        with service:
+            job = service.submit(qasm_for("tof_3"))
+            assert job.wait(120)
+        assert job.status == "completed"
+        assert crashes["left"] == 0
+        assert json.dumps(job.result, sort_keys=True) == json.dumps(
+            serial_result_block("tof_3"), sort_keys=True
+        )
+
+    def test_retry_exhaustion_fails_the_job_with_the_taxonomy(self):
+        def always_crashing(payload: Dict[str, Any]) -> Dict[str, Any]:
+            raise FaultInjected("injected worker crash")
+
+        service = JobManager(
+            ServiceConfig(run_config=BASE_RUN),
+            executor=InlineExecutor(chunk_retries=1, runner=always_crashing),
+        )
+        with service:
+            job = service.submit(qasm_for("tof_3"))
+            assert job.wait(30)
+        assert job.status == "failed"
+        assert job.error["type"] == RetryExhausted.__name__
+        assert service.stats()["service.jobs.failed"] == 1
+
+
+class TestShutdown:
+    def test_drain_finishes_queued_jobs(self):
+        service = manager()
+        jobs = [service.submit(qasm_for(name)) for name in CIRCUITS]
+        service.close(drain=True)
+        assert all(job.status == "completed" for job in jobs)
+        with pytest.raises(ServiceClosed) as excinfo:
+            service.submit(qasm_for("tof_3"))
+        assert excinfo.value.http_status == 503
+
+    def test_non_drain_fails_queued_jobs(self):
+        executor = _BlockingExecutor()
+        service = JobManager(
+            ServiceConfig(run_config=BASE_RUN), executor=executor
+        )
+        jobs = []
+        for name in ("tof_3", "barenco_tof_3"):
+            jobs.append(service.submit(qasm_for(name)))
+            assert executor.started.acquire(timeout=10)
+        jobs.append(service.submit(qasm_for("mod5_4")))  # stays queued
+        # Close from a helper thread: it fails the queued job immediately,
+        # then blocks joining the executor threads until we release them.
+        closer = threading.Thread(target=lambda: service.close(drain=False))
+        closer.start()
+        assert jobs[2].wait(10)
+        executor.release.set()
+        closer.join(30)
+        assert jobs[2].status == "failed"
+        assert jobs[2].error["type"] == "ServiceClosed"
+        assert jobs[0].status == "completed" and jobs[1].status == "completed"
+
+
+class TestPoolMode:
+    """``workers >= 2``: jobs ride a persistent multiprocess pool."""
+
+    def test_pooled_jobs_match_serial_results(self):
+        config = ServiceConfig(run_config=BASE_RUN, workers=2)
+        assert config.pooled and config.executor_slots == 2
+        serial = {name: serial_result_block(name) for name in ("tof_3", "mod5_4")}
+        with JobManager(config) as service:
+            jobs = {
+                name: service.submit(qasm_for(name)) for name in ("tof_3", "mod5_4")
+            }
+            for job in jobs.values():
+                assert job.wait(240)
+        for name, job in jobs.items():
+            assert job.status == "completed", (job.status, job.error)
+            assert json.dumps(job.result, sort_keys=True) == json.dumps(
+                serial[name], sort_keys=True
+            )
+
+
+# -- the HTTP front ------------------------------------------------------------
+
+
+class _ServerThread:
+    """Run an :class:`OptimizationHTTPServer` on its own loop + thread."""
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        manager: Optional[JobManager] = None,
+    ) -> None:
+        self.server = OptimizationHTTPServer(manager, config=config)
+        self._started = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        await self.server.start()
+        self._started.set()
+        serving = asyncio.create_task(self.server.serve_forever())
+        await self._stop.wait()
+        serving.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await serving
+        await self.server.stop(drain=True)
+
+    def __enter__(self) -> "_ServerThread":
+        self._thread.start()
+        assert self._started.wait(30), "server failed to boot"
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._loop is not None and self._stop is not None
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(60)
+
+    @property
+    def port(self) -> int:
+        assert self.server.port is not None
+        return self.server.port
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[str] = None,
+    ) -> Tuple[int, Dict[str, str], Dict[str, Any]]:
+        conn = http.client.HTTPConnection("127.0.0.1", self.port, timeout=120)
+        try:
+            conn.request(method, path, body)
+            response = conn.getresponse()
+            headers = {k.lower(): v for k, v in response.getheaders()}
+            payload = json.loads(response.read().decode("utf-8"))
+            return response.status, headers, payload
+        finally:
+            conn.close()
+
+
+@pytest.fixture(scope="module")
+def http_server():
+    config = ServiceConfig(port=0, batch_window_ms=50.0, run_config=BASE_RUN)
+    with _ServerThread(config) as server:
+        yield server
+
+
+class TestHTTPServer:
+    def test_optimize_roundtrip_matches_serial_run(self, http_server):
+        status, _, submitted = http_server.request(
+            "POST", "/v1/optimize", json.dumps({"qasm": qasm_for("tof_3")})
+        )
+        assert status == 200
+        job_id = submitted["job_id"]
+        status, _, record = http_server.request("GET", f"/v1/jobs/{job_id}?wait=120")
+        assert status == 200
+        assert record["status"] == "completed"
+        assert json.dumps(record["result"], sort_keys=True) == json.dumps(
+            serial_result_block("tof_3"), sort_keys=True
+        )
+        assert "service.batch.flushes" in record["service"]
+
+    def test_raw_qasm_body_is_accepted(self, http_server):
+        status, _, submitted = http_server.request(
+            "POST", "/v1/optimize", qasm_for("tof_3")
+        )
+        assert status == 200
+        status, _, record = http_server.request(
+            "GET", f"/v1/jobs/{submitted['job_id']}?wait=120"
+        )
+        assert status == 200 and record["status"] == "completed"
+
+    def test_malformed_qasm_is_http_400(self, http_server):
+        status, _, payload = http_server.request(
+            "POST", "/v1/optimize", json.dumps({"qasm": "qreg broken"})
+        )
+        assert status == 400
+        assert payload["error"] == "InvalidRequest"
+        status, _, payload = http_server.request(
+            "POST", "/v1/optimize", '{"not": "qasm"}'
+        )
+        assert status == 400
+
+    def test_unknown_job_is_http_404(self, http_server):
+        status, _, payload = http_server.request("GET", "/v1/jobs/job-999999")
+        assert status == 404
+        assert payload["error"] == "JobNotFound"
+
+    def test_unknown_route_and_wrong_method(self, http_server):
+        status, _, _ = http_server.request("GET", "/v2/nope")
+        assert status == 404
+        status, _, _ = http_server.request("GET", "/v1/optimize")
+        assert status == 405
+
+    def test_stats_and_healthz(self, http_server):
+        status, _, payload = http_server.request("GET", "/v1/healthz")
+        assert status == 200 and payload == {"status": "ok"}
+        status, _, stats = http_server.request("GET", "/v1/stats")
+        assert status == 200
+        for key in (
+            "service.jobs.submitted",
+            "service.cache.hits",
+            "service.batch.occupancy",
+            "service.queue.depth",
+        ):
+            assert key in stats
+
+    def test_event_stream_ends_with_terminal_status(self, http_server):
+        _, _, submitted = http_server.request(
+            "POST", "/v1/optimize", json.dumps({"qasm": qasm_for("mod5_4")})
+        )
+        job_id = submitted["job_id"]
+        http_server.request("GET", f"/v1/jobs/{job_id}?wait=120")
+        conn = http.client.HTTPConnection("127.0.0.1", http_server.port, timeout=30)
+        try:
+            conn.request("GET", f"/v1/jobs/{job_id}/events")
+            response = conn.getresponse()
+            assert response.status == 200
+            lines = [
+                json.loads(line)
+                for line in response.read().decode("utf-8").splitlines()
+                if line.strip()
+            ]
+        finally:
+            conn.close()
+        assert lines[0]["status"] == "queued"
+        assert lines[-1]["status"] in ("completed", "failed")
+
+    def test_queue_full_is_http_429_with_retry_after(self):
+        executor = _BlockingExecutor()
+        service = JobManager(
+            ServiceConfig(port=0, run_config=BASE_RUN, max_queue=1),
+            executor=executor,
+        )
+        try:
+            with _ServerThread(manager=service) as server:
+                for name in ("tof_3", "barenco_tof_3"):
+                    status, _, _ = server.request(
+                        "POST", "/v1/optimize", json.dumps({"qasm": qasm_for(name)})
+                    )
+                    assert status == 200
+                    assert executor.started.acquire(timeout=10)
+                status, _, _ = server.request(
+                    "POST", "/v1/optimize", json.dumps({"qasm": qasm_for("mod5_4")})
+                )
+                assert status == 200  # fills the queue
+                status, headers, payload = server.request(
+                    "POST", "/v1/optimize", json.dumps({"qasm": qasm_for("tof_4")})
+                )
+                assert status == 429
+                assert payload["error"] == "QueueFull"
+                assert headers.get("retry-after") == "1"
+                executor.release.set()
+        finally:
+            executor.release.set()
+            service.close()
+
+    def test_failed_job_polls_as_http_500(self):
+        def always_crashing(payload: Dict[str, Any]) -> Dict[str, Any]:
+            raise FaultInjected("injected worker crash")
+
+        service = JobManager(
+            ServiceConfig(port=0, run_config=BASE_RUN),
+            executor=InlineExecutor(chunk_retries=0, runner=always_crashing),
+        )
+        try:
+            with _ServerThread(manager=service) as server:
+                _, _, submitted = server.request(
+                    "POST", "/v1/optimize", json.dumps({"qasm": qasm_for("tof_3")})
+                )
+                status, _, record = server.request(
+                    "GET", f"/v1/jobs/{submitted['job_id']}?wait=30"
+                )
+                assert status == 500
+                assert record["status"] == "failed"
+                assert record["error"]["type"] == "RetryExhausted"
+        finally:
+            service.close()
