@@ -262,6 +262,99 @@ def test_parallel_verification_is_byte_identical_and_records_timing(
     assert perf.get("verifier.parallel.table_misses", 0) == 0
 
 
+def test_search_parallel_microbench(nam_q3_n3_generation):
+    """Work-sharing search vs its serial reference (recorded, identity asserted).
+
+    ``workers=1`` runs the identical wave algorithm in-process, so the
+    speedup is a true apples-to-apples sharding measurement; it depends on
+    the host's cores, so it is reported to the trajectory rather than
+    asserted (this container may be single-core).  What *is* asserted is
+    the determinism contract: the pooled run's best circuit is
+    byte-identical to the serial reference, and the pool really dispatched
+    (``search.parallel_chunks``) so the comparison is not vacuous.
+    """
+    from repro.generator.ecc import circuit_to_payload
+    from repro.optimizer.parallel import ParallelBacktrackingStrategy
+
+    result, _ = nam_q3_n3_generation
+    ecc_set = prune_common_subcircuits(simplify_ecc_set(result.ecc_set))
+    transformations = transformations_from_ecc_set(ecc_set)
+    circuit = preprocess(benchmark_circuit("tof_3"), "nam")
+
+    serial = ParallelBacktrackingStrategy(workers=1)
+    start = time.perf_counter()
+    serial_outcome = serial.run(
+        circuit, transformations, max_iterations=15, timeout_seconds=60
+    )
+    serial_seconds = time.perf_counter() - start
+
+    pooled = ParallelBacktrackingStrategy(workers=PARALLEL_WORKERS)
+    start = time.perf_counter()
+    pooled_outcome = pooled.run(
+        circuit, transformations, max_iterations=15, timeout_seconds=60
+    )
+    elapsed = time.perf_counter() - start
+
+    _RESULTS["search_parallel_tof3"] = {
+        "workers": PARALLEL_WORKERS,
+        "seconds": elapsed,
+        "serial_seconds": serial_seconds,
+        "speedup_vs_serial": serial_seconds / elapsed,
+        "final_cost": pooled_outcome.final_cost,
+        "waves": pooled_outcome.metadata["waves"],
+        "perf": {
+            k: v
+            for k, v in pooled_outcome.perf.items()
+            if k.startswith("search.") or k.startswith("resilience.")
+        },
+    }
+    assert pooled_outcome.perf.get("search.parallel_chunks", 0) > 0
+    assert pooled_outcome.final_cost == serial_outcome.final_cost
+    assert json.dumps(
+        circuit_to_payload(pooled_outcome.circuit), sort_keys=True
+    ) == json.dumps(circuit_to_payload(serial_outcome.circuit), sort_keys=True)
+    assert elapsed < 120.0
+
+
+def test_portfolio_microbench(nam_q3_n3_generation):
+    """Portfolio racing at the quick scale, recorded in the perf trajectory.
+
+    Races the default backtracking/greedy/beam roster with early
+    cancellation on; records the winner, the per-racer outcomes and the
+    wall-clock next to the serial ``search_tof3`` entry (on a single-core
+    container the race is a fair time-sliced comparison, so the seconds
+    are reported, not asserted).
+    """
+    from repro.optimizer.parallel import PortfolioStrategy
+
+    result, _ = nam_q3_n3_generation
+    ecc_set = prune_common_subcircuits(simplify_ecc_set(result.ecc_set))
+    transformations = transformations_from_ecc_set(ecc_set)
+    circuit = preprocess(benchmark_circuit("tof_3"), "nam")
+
+    portfolio = PortfolioStrategy()
+    start = time.perf_counter()
+    outcome = portfolio.run(
+        circuit, transformations, max_iterations=15, timeout_seconds=60
+    )
+    elapsed = time.perf_counter() - start
+
+    _RESULTS["portfolio_tof3"] = {
+        "seconds": elapsed,
+        "winner": outcome.metadata["winner"],
+        "final_cost": outcome.final_cost,
+        "racers": outcome.metadata["racers"],
+        "perf": {
+            k: v for k, v in outcome.perf.items() if k.startswith("search.")
+        },
+    }
+    racer_names = {racer["racer"] for racer in outcome.metadata["racers"]}
+    assert outcome.metadata["winner"] in racer_names
+    assert outcome.perf["search.racers"] == 3
+    assert outcome.final_cost <= outcome.initial_cost
+    assert elapsed < 120.0
+
+
 def test_warm_cache_repgen_under_half_second(nam_q3_n3_generation, tmp_path):
     """A warm .repro_cache/ hit replaces generation with a JSON load."""
     serial_result, _ = nam_q3_n3_generation

@@ -28,7 +28,7 @@ import dataclasses
 import json
 from dataclasses import dataclass, field, fields
 from pathlib import Path
-from typing import Any, Dict, Mapping, Optional, Union
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 from repro.envconfig import (
     env_batched_optional,
@@ -36,8 +36,10 @@ from repro.envconfig import (
     env_cache_enabled,
     env_chunk_retries_optional,
     env_chunk_timeout_optional,
+    env_portfolio_optional,
     env_resume_optional,
     env_scale,
+    env_search_workers_optional,
     env_verify_workers_optional,
     env_workers_optional,
 )
@@ -95,6 +97,17 @@ class SearchConfig:
     queue_keep: int = 1000
     max_matches_per_transformation: Optional[int] = 16
     beam_width: int = 16
+    #: Worker processes for the parallel search strategies (None: read
+    #: ``REPRO_SEARCH_WORKERS`` at run time; 1 means serial — the serial
+    #: reference the byte-identity guarantee is stated against).
+    search_workers: Optional[int] = None
+    #: Portfolio racer roster (None: read ``REPRO_PORTFOLIO`` at run time,
+    #: else race the default backtracking/greedy/beam).
+    portfolio: Optional[Tuple[str, ...]] = None
+    #: Whether the portfolio cancels remaining racers once one completes
+    #: with an improvement over the input circuit (full run-to-run
+    #: determinism of the losers' partial results requires False).
+    early_cancel: bool = True
     strategy_options: Mapping[str, Any] = field(default_factory=dict)
 
     def options_for(self, strategy_name: Optional[str] = None) -> Dict[str, Any]:
@@ -116,6 +129,20 @@ class SearchConfig:
             options.update(
                 beam_width=self.beam_width,
                 max_matches_per_transformation=self.max_matches_per_transformation,
+            )
+        elif name == "parallel-backtracking":
+            options.update(
+                gamma=self.gamma,
+                queue_capacity=self.queue_capacity,
+                queue_keep=self.queue_keep,
+                max_matches_per_transformation=self.max_matches_per_transformation,
+                workers=self.search_workers,
+            )
+        elif name == "portfolio":
+            options.update(
+                racers=self.portfolio,
+                workers=self.search_workers,
+                early_cancel=self.early_cancel,
             )
         options.update(self.strategy_options)
         return options
@@ -153,8 +180,9 @@ class RunConfig:
         multi-state fingerprinting, default on), ``REPRO_CACHE_DIR``,
         ``REPRO_CACHE_DISABLE`` (only truthy values disable),
         ``REPRO_CHUNK_TIMEOUT`` / ``REPRO_CHUNK_RETRIES`` (worker-pool
-        resilience), ``REPRO_RESUME`` (crash-safe checkpointing) and
-        ``REPRO_SCALE``.  ``overrides`` win over the environment.
+        resilience), ``REPRO_RESUME`` (crash-safe checkpointing),
+        ``REPRO_SEARCH_WORKERS`` / ``REPRO_PORTFOLIO`` (parallel search)
+        and ``REPRO_SCALE``.  ``overrides`` win over the environment.
         """
         config = cls(
             scale=env_scale(),
@@ -167,6 +195,10 @@ class RunConfig:
                 chunk_timeout=env_chunk_timeout_optional(),
                 chunk_retries=env_chunk_retries_optional(),
                 resume=env_resume_optional(),
+            ),
+            search=SearchConfig(
+                search_workers=env_search_workers_optional(),
+                portfolio=env_portfolio_optional(),
             ),
         )
         return config.with_overrides(**overrides) if overrides else config

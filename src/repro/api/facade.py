@@ -32,6 +32,7 @@ from repro.envconfig import env_cache_dir, env_cache_enabled, env_resume
 from repro.generator.cache import ECCCache, backend_kind, cache_key
 from repro.generator.ecc import ECCSet
 from repro.generator.parallel import resolve_workers
+from repro.optimizer.parallel import resolve_search_workers
 from repro.verifier.parallel import resolve_verify_workers
 from repro.generator.pruning import prune_common_subcircuits, simplify_ecc_set
 from repro.generator.repgen import GeneratorResult, GeneratorStats, RepGen
@@ -605,6 +606,14 @@ class Superoptimizer:
             "batched": self._batched,
             "batch_kind": backend.batch_kind if self._batched else "per-state",
             "strategy": self._strategy.name,
+            # Search worker processes as resolved for this run: 1 for the
+            # serial strategies (they cannot use workers, whatever the
+            # knob says), the resolved knob for the parallel ones.
+            "search_workers": (
+                resolve_search_workers(config.search.search_workers)
+                if self._strategy.supports_workers
+                else 1
+            ),
             "n": generation.n,
             "q": generation.q,
             "seed": generation.seed,
@@ -641,6 +650,11 @@ class Superoptimizer:
                 if key.startswith("resilience.")
             },
         }
+        # Portfolio runs name the racer whose result won the deterministic
+        # (cost, canonical key, racer index) rule.
+        winning_racer = result.metadata.get("winner")
+        if winning_racer is not None:
+            provenance["winning_racer"] = winning_racer
 
         return RunReport(
             circuit=result.circuit,

@@ -7,6 +7,15 @@ the semantics of a knob cannot drift between call sites:
   (non-integers and negatives warn and fall back to serial);
 * ``REPRO_VERIFY_WORKERS`` — equivalence-verifier worker processes per
   RepGen run (same parsing rules as ``REPRO_GEN_WORKERS``);
+* ``REPRO_SEARCH_WORKERS`` — worker processes for the parallel search
+  strategies (``parallel-backtracking``, and ``portfolio`` racers that
+  use it); same parsing rules as ``REPRO_GEN_WORKERS`` — invalid and
+  negative values warn and mean serial;
+* ``REPRO_PORTFOLIO``     — comma-separated racer roster for the
+  ``portfolio`` search strategy (strategy-registry names; an empty or
+  blank roster warns and means the default backtracking/greedy/beam —
+  unknown names are validated, warned about and dropped by the strategy
+  itself, which owns the registry);
 * ``REPRO_BATCHED``       — boolean flag (default on): evaluate fingerprint
   candidates through the backend's batched multi-state kernels instead of
   one gate application per candidate (bit-identical on the reference
@@ -60,10 +69,12 @@ from __future__ import annotations
 
 import os
 import warnings
-from typing import Optional
+from typing import Optional, Tuple
 
 WORKERS_ENV_VAR = "REPRO_GEN_WORKERS"
 VERIFY_WORKERS_ENV_VAR = "REPRO_VERIFY_WORKERS"
+SEARCH_WORKERS_ENV_VAR = "REPRO_SEARCH_WORKERS"
+PORTFOLIO_ENV_VAR = "REPRO_PORTFOLIO"
 BATCHED_ENV_VAR = "REPRO_BATCHED"
 CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
 CACHE_DISABLE_ENV_VAR = "REPRO_CACHE_DISABLE"
@@ -182,6 +193,53 @@ def env_verify_workers(*, default: int = 1) -> int:
 def env_verify_workers_optional() -> Optional[int]:
     """Verifier worker count from the environment, or None when unset."""
     return _env_worker_count(VERIFY_WORKERS_ENV_VAR, None)
+
+
+def env_search_workers(*, default: int = 1) -> int:
+    """Worker count from ``REPRO_SEARCH_WORKERS`` (absent means the default).
+
+    Same rules as ``REPRO_GEN_WORKERS``: invalid and negative values warn
+    and mean serial search.
+    """
+    return _env_worker_count(SEARCH_WORKERS_ENV_VAR, default)
+
+
+def env_search_workers_optional() -> Optional[int]:
+    """Search worker count from the environment, or None when unset."""
+    return _env_worker_count(SEARCH_WORKERS_ENV_VAR, None)
+
+
+def parse_portfolio(
+    raw: str, *, source: str = PORTFOLIO_ENV_VAR
+) -> Optional[Tuple[str, ...]]:
+    """Parse a portfolio roster: comma-separated strategy-registry names.
+
+    Entries are stripped and lowercased; empty entries are dropped.  A
+    roster with no usable entries warns and returns None ("use the default
+    roster") — the parallel of the worker knobs' invalid-means-serial
+    convention.  Name *validation* happens in the portfolio strategy,
+    which owns the registry; this module stays importable below it.
+    """
+    names = tuple(
+        entry.strip().lower() for entry in raw.split(",") if entry.strip()
+    )
+    if not names:
+        warnings.warn(
+            f"ignoring empty {source}={raw!r}; using the default portfolio "
+            "roster",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return None
+    return names
+
+
+def env_portfolio_optional() -> Optional[Tuple[str, ...]]:
+    """Portfolio roster from ``REPRO_PORTFOLIO``, or None when unset/empty."""
+    raw = os.environ.get(PORTFOLIO_ENV_VAR)
+    if raw is None:
+        return None
+    return parse_portfolio(raw)
 
 
 def env_batched(*, default: bool = True) -> bool:

@@ -22,6 +22,9 @@ Shared flags:
   (default ``REPRO_CHUNK_TIMEOUT``; 0 disables the deadline);
 * ``--chunk-retries N`` — re-dispatch budget per failed/timed-out chunk
   (default ``REPRO_CHUNK_RETRIES``);
+* ``--search-workers N`` — worker processes for the parallel search
+  strategies (``parallel-backtracking``, ``portfolio``; default
+  ``REPRO_SEARCH_WORKERS``, else serial);
 * ``--resume``       — checkpoint RepGen after every round and resume a
   killed run from the last completed one (needs the persistent cache).
 
@@ -47,6 +50,7 @@ from repro.envconfig import (
     CHUNK_RETRIES_ENV_VAR,
     CHUNK_TIMEOUT_ENV_VAR,
     RESUME_ENV_VAR,
+    SEARCH_WORKERS_ENV_VAR,
     VERIFY_WORKERS_ENV_VAR,
     WORKERS_ENV_VAR,
 )
@@ -102,6 +106,15 @@ def _add_shared_flags(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--search-workers",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for the parallel search strategies "
+            "(default: REPRO_SEARCH_WORKERS, else serial)"
+        ),
+    )
+    parser.add_argument(
         "--resume",
         action="store_true",
         help=(
@@ -140,6 +153,8 @@ def _apply_shared_flags(args: argparse.Namespace) -> None:
         os.environ[CHUNK_TIMEOUT_ENV_VAR] = str(args.chunk_timeout)
     if args.chunk_retries is not None:
         os.environ[CHUNK_RETRIES_ENV_VAR] = str(args.chunk_retries)
+    if args.search_workers is not None:
+        os.environ[SEARCH_WORKERS_ENV_VAR] = str(args.search_workers)
     if args.resume:
         os.environ[RESUME_ENV_VAR] = "1"
     if args.no_batch:
@@ -214,16 +229,19 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         generation_overrides["chunk_retries"] = args.chunk_retries
     if args.resume:
         generation_overrides["resume"] = True
+    search_overrides = {
+        "strategy": args.strategy,
+        "max_iterations": args.max_iterations,
+        "timeout_seconds": args.timeout,
+    }
+    if args.search_workers is not None:
+        search_overrides["search_workers"] = args.search_workers
     config = RunConfig.from_env().with_overrides(
         gate_set=args.gate_set,
         backend=args.backend,
         **({"batched": False} if args.no_batch else {}),
         generation=generation_overrides,
-        search={
-            "strategy": args.strategy,
-            "max_iterations": args.max_iterations,
-            "timeout_seconds": args.timeout,
-        },
+        search=search_overrides,
     )
     report = Superoptimizer(config).optimize(circuit)
     if args.json:
@@ -250,6 +268,7 @@ def _cmd_registry(args: argparse.Namespace) -> int:
     """List the pluggable backends and strategies this build offers."""
     from repro.api import available_strategies, backend_available
     from repro.envconfig import env_batched
+    from repro.optimizer.strategies import get_strategy
     from repro.semantics.backend import get_backend, registered_backends
 
     batched = env_batched()
@@ -265,10 +284,16 @@ def _cmd_registry(args: argparse.Namespace) -> int:
             entry["batch_kind"] = backend.batch_kind if batched else "per-state"
             entry["batch_bit_identical"] = backend.batch_bit_identical
         backends[name] = entry
+    # Per-strategy worker support is a class attribute, so a default
+    # instance answers it without running anything.
+    strategies = {
+        name: {"supports_workers": get_strategy(name).supports_workers}
+        for name in available_strategies()
+    }
     payload = {
         "backends": backends,
         "batched": batched,
-        "strategies": available_strategies(),
+        "strategies": strategies,
     }
     if args.json:
         json.dump(payload, sys.stdout, indent=2, sort_keys=True)
@@ -285,8 +310,9 @@ def _cmd_registry(args: argparse.Namespace) -> int:
                 detail = "unavailable"
             print(f"  {name:<14s} {detail}")
         print("search strategies:")
-        for name in payload["strategies"]:
-            print(f"  {name}")
+        for name, info in sorted(strategies.items()):
+            detail = "workers: REPRO_SEARCH_WORKERS" if info["supports_workers"] else "serial"
+            print(f"  {name:<24s} {detail}")
     return 0
 
 
@@ -324,7 +350,10 @@ def build_parser() -> argparse.ArgumentParser:
     optimize.add_argument(
         "--strategy",
         default="backtracking",
-        help="search strategy (backtracking, greedy, beam, ...)",
+        help=(
+            "search strategy (backtracking, greedy, beam, "
+            "parallel-backtracking, portfolio)"
+        ),
     )
     optimize.add_argument(
         "--backend",

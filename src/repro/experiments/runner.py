@@ -14,7 +14,11 @@ Knobs (all also exposed by ``python -m repro.experiments.cli``):
   (``0``/``false`` keep it enabled);
 * ``REPRO_GEN_WORKERS`` — fingerprint worker processes per RepGen run;
 * ``REPRO_VERIFY_WORKERS`` — equivalence-verifier worker processes per
-  RepGen run.
+  RepGen run;
+* ``REPRO_SEARCH_WORKERS`` / ``REPRO_PORTFOLIO`` — parallel-search worker
+  processes and portfolio racer roster (read by
+  :meth:`repro.api.RunConfig.from_env`; :func:`quartz_optimize` also takes
+  ``strategy`` / ``search_workers`` directly).
 """
 
 from __future__ import annotations
@@ -122,12 +126,18 @@ def quartz_optimize(
     gamma: float = 1.0001,
     max_iterations: Optional[int] = 30,
     timeout_seconds: Optional[float] = 20.0,
+    strategy: str = "backtracking",
+    search_workers: Optional[int] = None,
 ) -> Tuple[Circuit, Circuit, OptimizationResult]:
-    """The Quartz end-to-end flow: preprocess then backtracking search.
+    """The Quartz end-to-end flow: preprocess then search.
 
     Returns (preprocessed circuit, optimized circuit, search result) so the
     gate-count tables can report both the "Quartz Preprocess" and the
-    "Quartz End-to-end" columns.
+    "Quartz End-to-end" columns.  ``strategy`` / ``search_workers`` select
+    the search variant (``"parallel-backtracking"`` with workers > 1
+    shards frontier expansion; the best circuit stays byte-identical to
+    the serial default, so tables built through this wrapper are
+    worker-count invariant).
     """
     optimizer = Superoptimizer(
         RunConfig(
@@ -138,9 +148,11 @@ def quartz_optimize(
             verify_output=False,
             generation=GenerationConfig(n=n, q=q),
             search=SearchConfig(
+                strategy=strategy,
                 gamma=gamma,
                 max_iterations=max_iterations,
                 timeout_seconds=timeout_seconds,
+                search_workers=search_workers,
             ),
         )
     )

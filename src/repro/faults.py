@@ -20,12 +20,15 @@ action                    sites    effect when fired
 ========================  =======  ============================================
 ``kill_worker``           gen,     the worker handling the round's first chunk
                           verify,  dies hard (``os._exit``) — the chunk result
-                          service  never arrives, exercising timeout + respawn
+                          search,  never arrives, exercising timeout + respawn
+                          service
 ``delay_chunk``           gen,     the first chunk sleeps past its deadline,
                           verify,  exercising the timeout + retry path
+                          search,
                           service
 ``fail_chunk``            gen,     the first chunk raises ``FaultInjected``
                           verify,  inside the worker (clean failure + retry)
+                          search,
                           service
 ``corrupt_blob``          cache    the blob about to be read is bit-flipped
                                    *on disk* (persistent bit-rot: the re-read
@@ -46,7 +49,9 @@ action                    sites    effect when fired
   consulted;
 * a plain integer ``N`` — the N-th consultation (1-based);
 * ``roundN`` — the first consultation that happens during RepGen round N
-  (pool dispatch and round boundaries pass the round index);
+  (pool dispatch and round boundaries pass the round index; the search
+  pool passes its wave index, so ``kill_worker:search:round2`` targets
+  the second dispatched wave);
 * ``*`` / ``always`` — every consultation.
 
 Every entry fires independently and at most one action is returned per
@@ -94,15 +99,15 @@ CACHE_ACTIONS = ("corrupt_blob", "torn_read")
 
 #: Every recognized action and the sites allowed to host it.
 _ACTION_SITES = {
-    "kill_worker": {"gen", "verify", "service"},
-    "delay_chunk": {"gen", "verify", "service"},
-    "fail_chunk": {"gen", "verify", "service"},
+    "kill_worker": {"gen", "verify", "search", "service"},
+    "delay_chunk": {"gen", "verify", "search", "service"},
+    "fail_chunk": {"gen", "verify", "search", "service"},
     "corrupt_blob": {"cache"},
     "torn_read": {"cache"},
     "crash_run": {"gen"},
 }
 
-_SITES = {"gen", "verify", "cache", "service"}
+_SITES = {"gen", "verify", "search", "cache", "service"}
 
 
 @dataclass

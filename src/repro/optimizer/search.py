@@ -17,7 +17,7 @@ import heapq
 import itertools
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.ir.circuit import Circuit
 from repro.optimizer.cost import CostModel, GateCountCost
@@ -43,6 +43,12 @@ class OptimizationResult:
     # Hot-path instrumentation: matcher calls, match cache hit rates,
     # transformations skipped by the gate-multiset index (see repro.perf).
     perf: Dict[str, float] = field(default_factory=dict)
+    # True when a cooperative stop (portfolio early cancellation) ended the
+    # search before its own budgets did.
+    cancelled: bool = False
+    # Strategy-specific extras: worker counts and wave statistics for the
+    # parallel search, per-racer outcomes and the winner for the portfolio.
+    metadata: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def reduction(self) -> float:
@@ -88,8 +94,15 @@ class BacktrackingOptimizer:
         *,
         timeout_seconds: Optional[float] = None,
         max_iterations: Optional[int] = None,
+        stop_check: Optional[Callable[[], bool]] = None,
     ) -> OptimizationResult:
-        """Run the search and return the best circuit found."""
+        """Run the search and return the best circuit found.
+
+        ``stop_check`` is a cooperative cancellation hook (consulted once
+        per iteration): when it returns True the search stops early and
+        the result carries ``cancelled=True`` with the best found so far.
+        The portfolio strategy uses it to stop losing racers.
+        """
         start = time.perf_counter()
         counter = itertools.count()
         perf = PerfRecorder()
@@ -105,6 +118,7 @@ class BacktrackingOptimizer:
         iterations = 0
         explored = 1
         timed_out = False
+        cancelled = False
         max_matches = self.max_matches_per_transformation
 
         while queue:
@@ -116,6 +130,9 @@ class BacktrackingOptimizer:
                 timed_out = True
                 break
             if max_iterations is not None and iterations >= max_iterations:
+                break
+            if stop_check is not None and stop_check():
+                cancelled = True
                 break
             cost, _, current = heapq.heappop(queue)
             iterations += 1
@@ -196,6 +213,7 @@ class BacktrackingOptimizer:
             timed_out=timed_out,
             cost_trace=cost_trace,
             perf=perf.snapshot(),
+            cancelled=cancelled,
         )
 
 

@@ -341,3 +341,52 @@ class TestServiceKnobs:
         overridden = ServiceConfig.from_env(port=0, workers=1)
         assert overridden.port == 0 and not overridden.pooled
         assert overridden.executor_slots == 2
+
+
+class TestSearchKnobs:
+    def test_search_workers_default_valid_and_invalid(self, monkeypatch):
+        monkeypatch.delenv(envconfig.SEARCH_WORKERS_ENV_VAR, raising=False)
+        assert envconfig.env_search_workers() == 1
+        assert envconfig.env_search_workers_optional() is None
+        monkeypatch.setenv(envconfig.SEARCH_WORKERS_ENV_VAR, " 4 ")
+        assert envconfig.env_search_workers() == 4
+        assert envconfig.env_search_workers_optional() == 4
+        # Invalid and negative values warn and mean serial — the same
+        # convention as every other worker knob.
+        for raw in ("many", "-2", "2.5"):
+            monkeypatch.setenv(envconfig.SEARCH_WORKERS_ENV_VAR, raw)
+            with pytest.warns(RuntimeWarning):
+                assert envconfig.env_search_workers() == 1
+
+    def test_portfolio_roster_parsing(self, monkeypatch):
+        monkeypatch.delenv(envconfig.PORTFOLIO_ENV_VAR, raising=False)
+        assert envconfig.env_portfolio_optional() is None
+        monkeypatch.setenv(
+            envconfig.PORTFOLIO_ENV_VAR, " Greedy, beam ,,parallel-backtracking "
+        )
+        assert envconfig.env_portfolio_optional() == (
+            "greedy",
+            "beam",
+            "parallel-backtracking",
+        )
+
+    def test_empty_portfolio_warns_and_means_default(self, monkeypatch):
+        for raw in ("", " , ,"):
+            monkeypatch.setenv(envconfig.PORTFOLIO_ENV_VAR, raw)
+            with pytest.warns(RuntimeWarning, match="default portfolio"):
+                assert envconfig.env_portfolio_optional() is None
+
+    def test_run_config_snapshots_search_knobs(self, monkeypatch):
+        from repro.api import RunConfig
+
+        monkeypatch.setenv(envconfig.SEARCH_WORKERS_ENV_VAR, "2")
+        monkeypatch.setenv(envconfig.PORTFOLIO_ENV_VAR, "greedy,beam")
+        config = RunConfig.from_env()
+        assert config.search.search_workers == 2
+        assert config.search.portfolio == ("greedy", "beam")
+        options = config.search.options_for
+        assert options("parallel-backtracking")["workers"] == 2
+        portfolio_options = options("portfolio")
+        assert portfolio_options["racers"] == ("greedy", "beam")
+        assert portfolio_options["workers"] == 2
+        assert portfolio_options["early_cancel"] is True
